@@ -1,0 +1,91 @@
+// Ablation: streaming batch size B (Algorithm 1's "snapshots per
+// batch"). Larger batches amortize the per-update QR + small-SVD cost
+// but raise the peak working-set (M x (K + B)); accuracy at ff = 1 is
+// batch-size independent in exact arithmetic — the sweep verifies that
+// and measures the throughput curve.
+#include <cstdio>
+
+#include "core/streaming.hpp"
+#include "io/matrix_io.hpp"
+#include "linalg/svd.hpp"
+#include "post/metrics.hpp"
+#include "support/env.hpp"
+#include "support/timer.hpp"
+#include "workloads/burgers.hpp"
+
+int main() {
+  using namespace parsvd;
+  namespace wl = workloads;
+
+  wl::BurgersConfig cfg;
+  cfg.grid_points = env::get_int("PARSVD_GRID", 4096);
+  cfg.snapshots = env::get_int("PARSVD_SNAPSHOTS", 400);
+  const Index num_modes = 8;
+
+  std::printf("=== Ablation: streaming batch size B ===\n");
+  std::printf("Burgers %lld x %lld, K = %lld, ff = 1.0\n\n",
+              static_cast<long long>(cfg.grid_points),
+              static_cast<long long>(cfg.snapshots),
+              static_cast<long long>(num_modes));
+  std::printf("%-8s %10s %12s %16s %20s %22s\n", "B", "updates", "time[s]",
+              "snaps/s", "max rel sigma err", "peak workset [MB]");
+
+  wl::Burgers burgers(cfg);
+  const Matrix data = burgers.snapshot_matrix();
+  SvdOptions ref_opts;
+  ref_opts.method = SvdMethod::MethodOfSnapshots;
+  ref_opts.eigh_method = EighMethod::Tridiagonal;
+  ref_opts.rank = num_modes;
+  const SvdResult ref = svd(data, ref_opts);
+
+  std::vector<std::array<double, 5>> rows;
+  for (Index b : {10, 25, 50, 100, 200, 400}) {
+    StreamingOptions opts;
+    opts.num_modes = num_modes;
+    opts.forget_factor = 1.0;
+    SerialStreamingSVD s(opts);
+
+    Stopwatch watch;
+    watch.start();
+    Index done = 0;
+    while (done < cfg.snapshots) {
+      const Index take = std::min(b, cfg.snapshots - done);
+      const Matrix block = data.block(0, done, cfg.grid_points, take);
+      if (done == 0) {
+        s.initialize(block);
+      } else {
+        s.incorporate_data(block);
+      }
+      done += take;
+    }
+    const double t = watch.stop();
+    const double sv_err =
+        post::spectrum_relative_error(ref.s, s.singular_values()).norm_inf();
+    const double workset_mb = static_cast<double>(cfg.grid_points) *
+                              static_cast<double>(num_modes + b) * 8.0 /
+                              (1024.0 * 1024.0);
+    std::printf("%-8lld %10lld %12.3f %16.0f %20.3e %22.2f\n",
+                static_cast<long long>(b),
+                static_cast<long long>(s.iterations() + 1), t,
+                static_cast<double>(cfg.snapshots) / t, sv_err, workset_mb);
+    rows.push_back({static_cast<double>(b), t,
+                    static_cast<double>(cfg.snapshots) / t, sv_err,
+                    workset_mb});
+  }
+
+  Matrix out(static_cast<Index>(rows.size()), 5);
+  for (Index i = 0; i < out.rows(); ++i) {
+    for (Index j = 0; j < 5; ++j) {
+      out(i, j) = rows[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+    }
+  }
+  io::write_csv("abl_batch_size.csv", out,
+                {"batch", "time_s", "snaps_per_s", "max_rel_sigma_err",
+                 "workset_mb"});
+  std::printf("\nsmall B is fastest (total cost ~ M N (K+B)^2 / B) and "
+              "leanest, but each extra\nupdate truncates the tail again, "
+              "so accuracy on full-rank data improves with\nB — the "
+              "streaming trade-off Algorithm 1 embodies. wrote "
+              "abl_batch_size.csv\n\n");
+  return 0;
+}

@@ -1,0 +1,152 @@
+// Ablation: the forget factor ff (paper §3.1 — ff = 1.0 recovers the
+// batch SVD; smaller values discount old batches).
+//
+// Two experiments:
+//   1. Stationary data: how far each ff drifts from the batch SVD
+//      (ff = 1.0 must sit at numerical zero).
+//   2. Regime change: a stream whose dominant structure switches halfway;
+//      per-ff recovery latency (batches until re-alignment > 0.99) and
+//      final alignment. Small ff tracks fast; ff = 1 may never re-lock.
+#include <cstdio>
+
+#include "core/streaming.hpp"
+#include "io/matrix_io.hpp"
+#include "linalg/svd.hpp"
+#include "post/metrics.hpp"
+#include "support/env.hpp"
+#include "workloads/burgers.hpp"
+#include "workloads/lowrank.hpp"
+
+int main() {
+  using namespace parsvd;
+  namespace wl = workloads;
+
+  const double ffs[] = {1.0, 0.99, 0.95, 0.9, 0.8, 0.5};
+
+  // ---- experiment 1: stationary stream vs batch SVD -------------------
+  wl::BurgersConfig cfg;
+  cfg.grid_points = env::get_int("PARSVD_GRID", 1024);
+  cfg.snapshots = env::get_int("PARSVD_SNAPSHOTS", 200);
+  const Index batch = 25;
+  const Index num_modes = 6;
+
+  std::printf("=== Ablation: forget factor ff ===\n\n");
+  std::printf("[1] stationary Burgers stream (%lld x %lld, batches of "
+              "%lld) vs batch SVD\n",
+              static_cast<long long>(cfg.grid_points),
+              static_cast<long long>(cfg.snapshots),
+              static_cast<long long>(batch));
+  std::printf("%-8s %20s %22s\n", "ff", "max rel sigma err",
+              "max principal angle");
+
+  wl::Burgers burgers(cfg);
+  const Matrix data = burgers.snapshot_matrix();
+  SvdOptions ref_opts;
+  ref_opts.method = SvdMethod::MethodOfSnapshots;
+  ref_opts.eigh_method = EighMethod::Tridiagonal;
+  ref_opts.rank = num_modes;
+  const SvdResult ref = svd(data, ref_opts);
+
+  std::vector<std::array<double, 3>> exp1;
+  for (double ff : ffs) {
+    StreamingOptions opts;
+    opts.num_modes = num_modes;
+    opts.forget_factor = ff;
+    SerialStreamingSVD s(opts);
+    Index done = 0;
+    while (done < cfg.snapshots) {
+      const Index take = std::min(batch, cfg.snapshots - done);
+      const Matrix b = data.block(0, done, cfg.grid_points, take);
+      if (done == 0) {
+        s.initialize(b);
+      } else {
+        s.incorporate_data(b);
+      }
+      done += take;
+    }
+    const double sv_err =
+        post::spectrum_relative_error(ref.s, s.singular_values()).norm_inf();
+    const double angle = post::max_principal_angle(s.modes(), ref.u);
+    std::printf("%-8.2f %20.3e %22.3e\n", ff, sv_err, angle);
+    exp1.push_back({ff, sv_err, angle});
+  }
+
+  // ---- experiment 2: regime change ------------------------------------
+  const Index m = 600;
+  const Index batches = 30;
+  const Index batch_cols = 20;
+  const Index switch_at = batches / 2;
+  Rng rng(11);
+  const Matrix structures = wl::random_orthonormal(m, 2, rng);
+
+  auto make_batch = [&](Index bidx, Rng& stream) {
+    const bool regime_b = bidx >= switch_at;
+    Matrix out(m, batch_cols);
+    for (Index j = 0; j < batch_cols; ++j) {
+      const double amp = 10.0 * (1.0 + 0.2 * stream.gaussian());
+      const double weak = 2.0 * stream.gaussian();
+      for (Index i = 0; i < m; ++i) {
+        out(i, j) = amp * structures(i, regime_b ? 1 : 0) +
+                    weak * structures(i, regime_b ? 0 : 1) +
+                    0.1 * stream.gaussian();
+      }
+    }
+    return out;
+  };
+
+  std::printf("\n[2] regime switch at batch %lld of %lld\n",
+              static_cast<long long>(switch_at),
+              static_cast<long long>(batches));
+  std::printf("%-8s %26s %20s\n", "ff", "recovery latency [batches]",
+              "final alignment");
+
+  std::vector<std::array<double, 3>> exp2;
+  for (double ff : ffs) {
+    StreamingOptions opts;
+    opts.num_modes = 2;
+    opts.forget_factor = ff;
+    SerialStreamingSVD s(opts);
+    Rng stream(123);  // same stream for every ff
+    Index recovery = -1;
+    double final_align = 0.0;
+    for (Index b = 0; b < batches; ++b) {
+      const Matrix data_b = make_batch(b, stream);
+      if (b == 0) {
+        s.initialize(data_b);
+      } else {
+        s.incorporate_data(data_b);
+      }
+      if (b >= switch_at) {
+        final_align = post::mode_cosine(s.modes(), 0, structures, 1);
+        if (recovery < 0 && final_align > 0.99) {
+          recovery = b - switch_at + 1;
+        }
+      }
+    }
+    if (recovery < 0) {
+      std::printf("%-8.2f %26s %20.4f\n", ff, "never", final_align);
+    } else {
+      std::printf("%-8.2f %26lld %20.4f\n", ff,
+                  static_cast<long long>(recovery), final_align);
+    }
+    exp2.push_back({ff, static_cast<double>(recovery), final_align});
+  }
+
+  Matrix out1(static_cast<Index>(std::size(ffs)), 3);
+  Matrix out2(static_cast<Index>(std::size(ffs)), 3);
+  for (Index i = 0; i < out1.rows(); ++i) {
+    for (Index j = 0; j < 3; ++j) {
+      out1(i, j) = exp1[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+      out2(i, j) = exp2[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+    }
+  }
+  io::write_csv("abl_ff_stationary.csv", out1,
+                {"ff", "max_rel_sigma_err", "max_principal_angle"});
+  io::write_csv("abl_ff_regime.csv", out2,
+                {"ff", "recovery_batches", "final_alignment"});
+  std::printf("\nff = 1.0 is the most accurate on stationary data (its "
+              "residual error is the\nK-truncation tail, not forgetting); "
+              "smaller ff trades stationary accuracy\nfor tracking speed "
+              "after a regime change. wrote abl_ff_*.csv\n\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Ablation: deterministic SVD backend choice (one-sided Jacobi vs
+// Golub-Kahan vs method of snapshots) across the matrix shapes the
+// library actually sees — square R factors from the streaming update and
+// tall-skinny snapshot blocks from APMOS stage 1.
+#include <benchmark/benchmark.h>
+
+#include "linalg/svd.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace parsvd;
+
+Matrix make_input(Index m, Index n, std::uint64_t seed) {
+  Rng rng(seed);
+  return Matrix::gaussian(m, n, rng);
+}
+
+void BM_SvdJacobi(benchmark::State& state) {
+  const Matrix a = make_input(state.range(0), state.range(1), 17);
+  SvdOptions opts;
+  opts.method = SvdMethod::Jacobi;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(svd(a, opts));
+  }
+}
+
+void BM_SvdGolubKahan(benchmark::State& state) {
+  const Matrix a = make_input(state.range(0), state.range(1), 17);
+  SvdOptions opts;
+  opts.method = SvdMethod::GolubKahan;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(svd(a, opts));
+  }
+}
+
+void BM_SvdMethodOfSnapshots(benchmark::State& state) {
+  const Matrix a = make_input(state.range(0), state.range(1), 17);
+  SvdOptions opts;
+  opts.method = SvdMethod::MethodOfSnapshots;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(svd(a, opts));
+  }
+}
+
+// Square R-factor shapes (streaming update inner SVD).
+BENCHMARK(BM_SvdJacobi)->Args({60, 60})->Args({120, 120})->Args({240, 240})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SvdGolubKahan)->Args({60, 60})->Args({120, 120})->Args({240, 240})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SvdMethodOfSnapshots)->Args({60, 60})->Args({120, 120})
+    ->Args({240, 240})->Unit(benchmark::kMillisecond);
+
+// Tall-skinny snapshot blocks (APMOS stage 1).
+BENCHMARK(BM_SvdJacobi)->Args({4096, 64})->Args({8192, 64})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SvdGolubKahan)->Args({4096, 64})->Args({8192, 64})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SvdMethodOfSnapshots)->Args({4096, 64})->Args({8192, 64})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,5 @@
+// Reproduces Figure 1(b): second singular vector of the Burgers snapshot
+// matrix, serial vs randomized+parallel, with the pointwise error curve.
+#include "fig1_common.hpp"
+
+int main() { return parsvd::bench::run_fig1(1, "fig1b_mode2.csv"); }

@@ -1,0 +1,92 @@
+// Least squares & pseudoinverse — the matrix-computation applications
+// the paper's §2 motivates alongside modal analysis.
+//
+// Fits a polynomial to noisy samples three ways and compares them:
+//   1. QR least squares (HouseholderQr::solve_least_squares),
+//   2. the SVD pseudoinverse x = A⁺ b,
+//   3. a rank-truncated pseudoinverse (regularization for the
+//      ill-conditioned high-degree Vandermonde system).
+#include <cmath>
+#include <cstdio>
+
+#include "linalg/blas.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/svd.hpp"
+#include "support/env.hpp"
+#include "support/rng.hpp"
+
+int main() {
+  using namespace parsvd;
+
+  const Index samples = env::get_int("PARSVD_SAMPLES", 200);
+  const Index degree = env::get_int("PARSVD_DEGREE", 14);
+  Rng rng(17);
+
+  // Ground truth: y = sin(2πx) sampled on [0, 1] with noise.
+  Vector x(samples), y(samples);
+  for (Index i = 0; i < samples; ++i) {
+    x[i] = static_cast<double>(i) / static_cast<double>(samples - 1);
+    y[i] = std::sin(2.0 * 3.14159265358979323846 * x[i]) +
+           0.05 * rng.gaussian();
+  }
+
+  // Vandermonde design matrix (deliberately ill-conditioned for larger
+  // degree — that is what the truncated pseudoinverse is for).
+  Matrix a(samples, degree + 1);
+  for (Index i = 0; i < samples; ++i) {
+    double p = 1.0;
+    for (Index j = 0; j <= degree; ++j) {
+      a(i, j) = p;
+      p *= x[i];
+    }
+  }
+
+  const Vector sv = singular_values(a);
+  std::printf("design matrix: %lld x %lld, cond = %.3e\n",
+              static_cast<long long>(samples),
+              static_cast<long long>(degree + 1),
+              sv[0] / sv[sv.size() - 1]);
+
+  // --- 1. QR least squares ---------------------------------------------
+  const HouseholderQr qr(a);
+  const Vector coef_qr = qr.solve_least_squares(y);
+
+  // --- 2. full pseudoinverse --------------------------------------------
+  const Matrix a_pinv = pinv(a);
+  Vector coef_pinv(degree + 1, 0.0);
+  gemv(Trans::No, 1.0, a_pinv, y.span(), 0.0, coef_pinv.span());
+
+  // --- 3. rank-truncated pseudoinverse ----------------------------------
+  // Treat singular values below 1e-10 σ_max as noise directions.
+  const Matrix a_pinv_reg = pinv(a, 1e-10);
+  Vector coef_reg(degree + 1, 0.0);
+  gemv(Trans::No, 1.0, a_pinv_reg, y.span(), 0.0, coef_reg.span());
+
+  auto rms_residual = [&](const Vector& coef) {
+    Vector r = y;
+    gemv(Trans::No, -1.0, a, coef.span(), 1.0, r.span());
+    return r.norm2() / std::sqrt(static_cast<double>(samples));
+  };
+
+  std::printf("\n%-28s %14s %18s\n", "method", "RMS residual",
+              "max |coefficient|");
+  auto report = [&](const char* name, const Vector& coef) {
+    double cmax = 0.0;
+    for (Index j = 0; j < coef.size(); ++j) {
+      cmax = std::max(cmax, std::fabs(coef[j]));
+    }
+    std::printf("%-28s %14.6f %18.4f\n", name, rms_residual(coef), cmax);
+  };
+  report("QR least squares", coef_qr);
+  report("SVD pseudoinverse", coef_pinv);
+  report("truncated pseudoinverse", coef_reg);
+
+  // QR and the full pseudoinverse solve the same problem; they must
+  // agree to working precision.
+  const double diff = max_abs_diff(coef_qr, coef_pinv);
+  std::printf("\nmax |QR - pinv| coefficient difference: %.3e\n", diff);
+  std::printf("(QR and pseudoinverse agree; truncation trades a slightly\n"
+              "larger residual for bounded coefficients on ill-conditioned\n"
+              "systems — the classic SVD regularization from paper §2.)\n");
+  return 0;
+}

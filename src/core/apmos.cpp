@@ -1,0 +1,91 @@
+#include "core/apmos.hpp"
+
+#include <algorithm>
+
+#include "core/randomized.hpp"
+#include "linalg/blas.hpp"
+
+namespace parsvd {
+
+std::pair<Matrix, Vector> generate_right_vectors(const Matrix& a, Index r1,
+                                                 SvdMethod method,
+                                                 EighMethod eigh_method) {
+  PARSVD_REQUIRE(!a.empty(), "right vectors of an empty matrix");
+  PARSVD_REQUIRE(r1 > 0, "r1 must be positive");
+  SvdOptions opts;
+  opts.method = method;
+  opts.eigh_method = eigh_method;
+  opts.rank = std::min(r1, std::min(a.rows(), a.cols()));
+  const SvdResult f = svd(a, opts);
+  return {f.v, f.s};
+}
+
+ApmosResult apmos_svd(pmpi::Communicator& comm, const Matrix& a_local,
+                      const ApmosOptions& opts, Rng* rng) {
+  opts.validate();
+  PARSVD_REQUIRE(!a_local.empty(), "apmos of an empty local block");
+
+  // Stages 1-2: local right vectors scaled by singular values.
+  auto [vlocal, slocal] =
+      generate_right_vectors(a_local, opts.r1, opts.method, opts.eigh_method);
+  Matrix wlocal = vlocal;  // n x k1
+  for (Index j = 0; j < wlocal.cols(); ++j) {
+    scal(slocal[j], wlocal.col_span(j));
+  }
+
+  // Stage 3: gather W at rank 0 (column-wise concatenation).
+  std::vector<Matrix> blocks = comm.gather_matrices(wlocal, 0);
+
+  // Stages 4-5: root SVD of W, truncation to r2.
+  Matrix x;
+  Vector lambda;
+  if (comm.is_root()) {
+    const Matrix w = hcat(blocks);
+    SvdResult f;
+    if (opts.low_rank) {
+      RandomizedOptions ropts = opts.randomized;
+      ropts.rank = std::min<Index>(opts.r2, std::min(w.rows(), w.cols()));
+      if (rng != nullptr) {
+        f = randomized_svd(w, ropts, *rng);
+      } else {
+        f = randomized_svd(w, ropts);
+      }
+    } else {
+      SvdOptions sopts;
+      sopts.method = opts.method;
+      sopts.eigh_method = opts.eigh_method;
+      sopts.rank = std::min<Index>(opts.r2, std::min(w.rows(), w.cols()));
+      f = svd(w, sopts);
+    }
+    // Deterministic mode orientation so distributed results are
+    // comparable across rank counts and against serial references.
+    fix_svd_signs(f.u, f.v);
+    x = std::move(f.u);
+    lambda = std::move(f.s);
+  }
+  comm.bcast_matrix(x, 0);
+  {
+    std::vector<double> lam(lambda.begin(), lambda.end());
+    comm.bcast(lam, 0);
+    lambda = Vector(static_cast<Index>(lam.size()));
+    std::copy(lam.begin(), lam.end(), lambda.begin());
+  }
+
+  // Stage 6: lift the global right-space modes through the local block:
+  // Ũ^i = A^i X̃ diag(1/Λ̃).
+  ApmosResult out;
+  out.u_local = matmul(a_local, x);
+  out.s = lambda;
+  const double cutoff = (lambda.size() > 0 ? lambda[0] : 0.0) * 1e-14;
+  for (Index j = 0; j < out.u_local.cols(); ++j) {
+    if (lambda[j] > cutoff && lambda[j] > 0.0) {
+      scal(1.0 / lambda[j], out.u_local.col_span(j));
+    } else {
+      auto col = out.u_local.col_span(j);
+      std::fill(col.begin(), col.end(), 0.0);
+    }
+  }
+  return out;
+}
+
+}  // namespace parsvd

@@ -1,0 +1,15 @@
+#include "core/factory.hpp"
+
+namespace parsvd {
+
+std::unique_ptr<SvdBase> make_streaming_svd(const StreamingOptions& opts) {
+  return std::make_unique<SerialStreamingSVD>(opts);
+}
+
+std::unique_ptr<SvdBase> make_streaming_svd(const StreamingOptions& opts,
+                                            pmpi::Communicator& comm,
+                                            TsqrVariant tsqr_variant) {
+  return std::make_unique<ParallelStreamingSVD>(comm, opts, tsqr_variant);
+}
+
+}  // namespace parsvd

@@ -1,0 +1,54 @@
+// Brand's incremental SVD — the classical baseline for streaming
+// factorization (M. Brand, "Fast low-rank modifications of the thin
+// singular value decomposition", Linear Algebra Appl. 415, 2006; the
+// lineage the paper cites through Sarwar et al.'s recommender systems).
+//
+// Differences from the Levy-Lindenbaum update (Algorithm 1):
+//   * the update factors only the (k + b) x (k + b) augmented core
+//     [diag(S)  UᵀC; 0  R_H] instead of re-QR-ing the full m x (k + b)
+//     concatenation — cheaper per batch when m >> k + b;
+//   * it can carry the right singular vectors V along (Levy-Lindenbaum
+//     discards them), at O(n k) memory — enabling full reconstruction
+//     U S Vᵀ of everything seen;
+//   * no forget factor in Brand's formulation; this implementation adds
+//     the same exponential discount for comparability (ff = 1 recovers
+//     Brand's method exactly).
+//
+// The abl_streaming_algorithms bench races the two updates; the test
+// suite verifies they agree with each other and with the batch SVD.
+#pragma once
+
+#include "core/streaming.hpp"
+
+namespace parsvd {
+
+class IncrementalSVD final : public SvdBase {
+ public:
+  /// `track_right_vectors` keeps V (grows by one row per snapshot).
+  explicit IncrementalSVD(StreamingOptions opts,
+                          bool track_right_vectors = false);
+
+  void initialize(const Matrix& batch) override;
+  void incorporate_data(const Matrix& batch) override;
+
+  bool tracks_right_vectors() const { return track_v_; }
+
+  /// Right singular vectors, snapshots_seen x K. Only valid when
+  /// track_right_vectors was requested.
+  const Matrix& right_vectors() const;
+
+  /// Low-rank reconstruction U diag(S) Vᵀ of the entire stream seen so
+  /// far (requires right-vector tracking). Weighted runs return the
+  /// physical-space field.
+  Matrix reconstruct_stream() const;
+
+ private:
+  SvdResult inner_svd(const Matrix& a, Index rank);
+
+  bool track_v_;
+  Matrix v_;       // snapshots_seen x K (only when track_v_)
+  Rng rng_;
+  Index num_rows_ = 0;
+};
+
+}  // namespace parsvd

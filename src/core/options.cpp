@@ -1,0 +1,33 @@
+#include "core/options.hpp"
+
+#include "support/error.hpp"
+
+namespace parsvd {
+
+void StreamingOptions::validate() const {
+  PARSVD_REQUIRE(num_modes > 0, "num_modes must be positive");
+  PARSVD_REQUIRE(forget_factor > 0.0 && forget_factor <= 1.0,
+                 "forget_factor must lie in (0, 1]");
+  for (Index i = 0; i < row_weights.size(); ++i) {
+    PARSVD_REQUIRE(row_weights[i] > 0.0, "row weights must be positive");
+  }
+  if (low_rank) {
+    PARSVD_REQUIRE(randomized.rank > 0, "randomized rank must be positive");
+    PARSVD_REQUIRE(randomized.oversampling >= 0, "oversampling must be >= 0");
+    PARSVD_REQUIRE(randomized.power_iterations >= 0,
+                   "power_iterations must be >= 0");
+  }
+}
+
+void ApmosOptions::validate() const {
+  PARSVD_REQUIRE(r1 > 0, "r1 must be positive");
+  PARSVD_REQUIRE(r2 > 0, "r2 must be positive");
+  if (low_rank) {
+    PARSVD_REQUIRE(randomized.rank > 0, "randomized rank must be positive");
+    PARSVD_REQUIRE(randomized.oversampling >= 0, "oversampling must be >= 0");
+    PARSVD_REQUIRE(randomized.power_iterations >= 0,
+                   "power_iterations must be >= 0");
+  }
+}
+
+}  // namespace parsvd

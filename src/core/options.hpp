@@ -1,0 +1,80 @@
+// User-facing configuration for the parsvd core algorithms.
+//
+// Defaults mirror the paper: forget factor ff = 0.95 (§3.1), APMOS
+// truncation r1 = 50, r2 = 5 (§3.2), and Gaussian sketching for the
+// randomized path (§3.3).
+#pragma once
+
+#include <cstdint>
+
+#include "linalg/matrix.hpp"
+#include "linalg/svd.hpp"
+
+namespace parsvd {
+
+/// Randomized range-finder configuration (Halko et al. style).
+struct RandomizedOptions {
+  /// Target rank r of the approximation (required, > 0).
+  Index rank = 10;
+  /// Extra sketch columns beyond `rank`; improves accuracy at tiny cost.
+  Index oversampling = 8;
+  /// Power (subspace) iterations; 1-2 sharpen spectra with slow decay.
+  int power_iterations = 0;
+  /// Seed for the Gaussian test matrix (deterministic per seed).
+  std::uint64_t seed = 0x5eed;
+  /// Backend used for the small inner SVD.
+  SvdMethod inner_method = SvdMethod::Jacobi;
+};
+
+/// Streaming (Levy-Lindenbaum) configuration, serial and parallel.
+struct StreamingOptions {
+  /// Number of retained modes K (leading left singular vectors).
+  Index num_modes = 10;
+  /// Forget factor in (0, 1]; 1.0 reproduces the batch SVD exactly.
+  double forget_factor = 0.95;
+  /// Route the inner dense SVDs through the randomized path.
+  bool low_rank = false;
+  RandomizedOptions randomized{};
+  /// Deterministic backend for non-randomized inner SVDs.
+  SvdMethod method = SvdMethod::Jacobi;
+  /// Optional positive row weights w defining the inner product
+  /// ⟨u, v⟩ = uᵀ diag(w) v — e.g. cell-area (cos-latitude) weights for
+  /// lat-lon grids, the standard EOF convention in weather/climate work.
+  /// Empty = Euclidean. For the distributed implementation each rank
+  /// passes the weights of ITS rows. Internally the data is scaled by
+  /// √w so the factorization machinery is unchanged; modes() then holds
+  /// the √w-scaled (Euclidean-orthonormal) vectors and physical_modes()
+  /// undoes the scaling, yielding vectors orthonormal under ⟨·,·⟩_w.
+  Vector row_weights{};
+
+  void validate() const;
+};
+
+/// APMOS distributed-SVD configuration (Algorithm 2).
+struct ApmosOptions {
+  /// r1: columns of V and Σ each rank contributes to the gathered W.
+  Index r1 = 50;
+  /// r2: retained global modes broadcast back to the ranks.
+  Index r2 = 5;
+  /// Randomize the root SVD of W.
+  bool low_rank = false;
+  RandomizedOptions randomized{};
+  SvdMethod method = SvdMethod::Jacobi;
+  /// Eigensolver for the MethodOfSnapshots local stage (the paper's
+  /// suggested path when M_i >> N; Tridiagonal is the fast choice).
+  EighMethod eigh_method = EighMethod::Jacobi;
+
+  void validate() const;
+};
+
+/// TSQR variant selection.
+enum class TsqrVariant {
+  /// Paper/Benson et al. "direct" TSQR: gather all local R factors at
+  /// rank 0, one QR of the stack, scatter Q slices. O(p n^2) root memory.
+  Direct,
+  /// Binary-tree reduction: pairwise QR combines up a tree, transforms
+  /// unwound down it. O(log p) depth, O(n^2) per-message volume.
+  Tree,
+};
+
+}  // namespace parsvd

@@ -1,0 +1,146 @@
+#include "core/parallel_streaming.hpp"
+
+#include <algorithm>
+
+#include "core/randomized.hpp"
+#include "linalg/blas.hpp"
+
+namespace parsvd {
+
+ParallelStreamingSVD::ParallelStreamingSVD(pmpi::Communicator& comm,
+                                           StreamingOptions opts,
+                                           TsqrVariant tsqr_variant)
+    : SvdBase(std::move(opts)),
+      comm_(comm),
+      tsqr_variant_(tsqr_variant),
+      rng_(opts_.randomized.seed) {}
+
+void ParallelStreamingSVD::initialize(const Matrix& batch) {
+  PARSVD_REQUIRE(!initialized_, "initialize() called twice");
+  PARSVD_REQUIRE(!batch.empty(), "empty initial batch");
+  num_rows_ = batch.rows();
+
+  // Row layout of the distributed mode matrix (needed by gather_modes
+  // and by callers mapping local rows to global grid points).
+  const std::vector<Index> all_rows = comm_.allgather_index(num_rows_);
+  row_offset_ = 0;
+  global_rows_ = 0;
+  for (int r = 0; r < comm_.size(); ++r) {
+    if (r < comm_.rank()) row_offset_ += all_rows[static_cast<std::size_t>(r)];
+    global_rows_ += all_rows[static_cast<std::size_t>(r)];
+  }
+
+  // Listing 2: initialization runs APMOS with r1 = r2 = K (the parallel
+  // SVD of the first batch), honoring the low-rank switch at the root.
+  ApmosOptions aopts;
+  const Index keep = std::min(opts_.num_modes, batch.cols());
+  aopts.r1 = keep;
+  aopts.r2 = keep;
+  aopts.low_rank = opts_.low_rank;
+  aopts.randomized = opts_.randomized;
+  aopts.method = opts_.method;
+  ApmosResult init = apmos_svd(comm_, apply_row_weights(batch), aopts, &rng_);
+
+  u_local_ = std::move(init.u_local);
+  singular_values_ = std::move(init.s);
+  snapshots_seen_ = batch.cols();
+  initialized_ = true;
+  gather_modes();
+}
+
+void ParallelStreamingSVD::root_svd_and_broadcast(const Matrix& r,
+                                                  Matrix& u_small, Vector& s) {
+  const Index keep = std::min(opts_.num_modes, std::min(r.rows(), r.cols()));
+  if (comm_.is_root()) {
+    SvdResult f;
+    if (opts_.low_rank) {
+      RandomizedOptions ropts = opts_.randomized;
+      ropts.rank = keep;
+      f = randomized_svd(r, ropts, rng_);
+    } else {
+      SvdOptions sopts;
+      sopts.method = opts_.method;
+      sopts.rank = keep;
+      f = svd(r, sopts);
+    }
+    fix_svd_signs(f.u, f.v);
+    u_small = std::move(f.u);
+    s = std::move(f.s);
+  }
+  comm_.bcast_matrix(u_small, 0);
+  std::vector<double> sv(s.begin(), s.end());
+  comm_.bcast(sv, 0);
+  s = Vector(static_cast<Index>(sv.size()));
+  std::copy(sv.begin(), sv.end(), s.begin());
+}
+
+void ParallelStreamingSVD::incorporate_data(const Matrix& batch) {
+  require_initialized();
+  PARSVD_REQUIRE(batch.rows() == num_rows_,
+                 "batch row count differs from the initialized problem");
+  PARSVD_REQUIRE(batch.cols() > 0, "empty streaming batch");
+  ++iteration_;
+  snapshots_seen_ += batch.cols();
+
+  // Step 1 (distributed): concatenate the discounted local factorization
+  // with the new local snapshots, then TSQR across ranks.
+  Matrix ll = u_local_;
+  for (Index j = 0; j < ll.cols(); ++j) {
+    scal(opts_.forget_factor * singular_values_[j], ll.col_span(j));
+  }
+  ll = hcat(ll, apply_row_weights(batch));
+  TsqrResult qr = tsqr(comm_, ll, tsqr_variant_);
+
+  // Step 2 (small, at root): SVD of the global R, truncated to K.
+  // PyParSVD's listing only truncates on the low-rank path, which lets
+  // the factorization width grow by B per batch; we truncate on both
+  // paths, matching Algorithm 1 steps 3-5 (see DESIGN.md).
+  Matrix u_small;
+  Vector s;
+  root_svd_and_broadcast(qr.r, u_small, s);
+
+  // Steps 4-5: rotate the local Q slice onto the leading modes.
+  u_local_ = matmul(qr.q_local, u_small);
+  singular_values_ = std::move(s);
+  gather_modes();
+}
+
+void ParallelStreamingSVD::gather_modes() {
+  std::vector<Matrix> blocks = comm_.gather_matrices(u_local_, 0);
+  if (comm_.is_root()) {
+    modes_ = vcat(blocks);
+  } else {
+    modes_ = Matrix{};
+  }
+}
+
+Matrix ParallelStreamingSVD::project(const Matrix& batch) {
+  require_initialized();
+  PARSVD_REQUIRE(batch.rows() == num_rows_,
+                 "project: batch row count differs from this rank's block");
+  // Local contribution of the W-inner product, summed across ranks.
+  Matrix local =
+      matmul(u_local_, apply_row_weights(batch), Trans::Yes, Trans::No);
+  comm_.allreduce(
+      std::span<double>(local.data(), static_cast<std::size_t>(local.size())),
+      pmpi::Op::Sum);
+  return local;
+}
+
+Matrix ParallelStreamingSVD::reconstruct(const Matrix& coefficients) const {
+  PARSVD_REQUIRE(initialized_, "initialize() must be called first");
+  PARSVD_REQUIRE(coefficients.rows() == u_local_.cols(),
+                 "coefficient rows must equal the retained mode count");
+  return remove_row_weights(matmul(u_local_, coefficients));
+}
+
+Matrix ParallelStreamingSVD::physical_modes() {
+  // Each rank unscales its own rows (it holds its own weights), then the
+  // physical blocks are gathered at root.
+  std::vector<Matrix> blocks =
+      comm_.gather_matrices(remove_row_weights(u_local_), 0);
+  if (!comm_.is_root()) return Matrix{};
+  return vcat(blocks);
+}
+
+}  // namespace parsvd

@@ -1,0 +1,68 @@
+// Distributed streaming SVD (the paper's ParSVD_Parallel, Listing 2).
+//
+// Combines the three building blocks: APMOS initializes the distributed
+// factorization, TSQR re-factors the concatenated [ff·U_loc Σ | A_i] on
+// every streaming step, and the small root SVD of the global R may be
+// randomized.  Each rank owns a fixed row-block (its grid points); the
+// snapshot dimension streams in batches.
+#pragma once
+
+#include "core/apmos.hpp"
+#include "core/streaming.hpp"
+#include "core/tsqr.hpp"
+#include "pmpi/comm.hpp"
+
+namespace parsvd {
+
+class ParallelStreamingSVD final : public SvdBase {
+ public:
+  /// `comm` must outlive the object; every rank of the communicator
+  /// constructs its own instance with identical options.
+  ParallelStreamingSVD(pmpi::Communicator& comm, StreamingOptions opts,
+                       TsqrVariant tsqr_variant = TsqrVariant::Direct);
+
+  /// Collective. `batch` is this rank's row-block of the first batch.
+  void initialize(const Matrix& batch) override;
+
+  /// Collective. Streaming update with this rank's row-block of A_i.
+  void incorporate_data(const Matrix& batch) override;
+
+  /// This rank's rows of the retained global modes (local_rows x K).
+  /// In √w-scaled space when row weights are configured.
+  const Matrix& local_modes() const { return u_local_; }
+
+  /// Collective: gathers the weight-unscaled global modes at root
+  /// (empty on other ranks). Equals modes() when unweighted.
+  Matrix physical_modes() override;
+
+  /// Collective: modal coefficients of a distributed batch (this rank
+  /// passes its row block). Every rank receives the global K x B result.
+  Matrix project(const Matrix& batch) override;
+
+  /// Reconstruct THIS RANK's rows of the field from global coefficients.
+  Matrix reconstruct(const Matrix& coefficients) const override;
+
+  /// Row offset of this rank's block within the global mode matrix.
+  Index row_offset() const { return row_offset_; }
+
+  /// Global row count across all ranks.
+  Index global_rows() const { return global_rows_; }
+
+ private:
+  /// Root SVD of the TSQR R factor + broadcast of (Ũ, Σ̃) — the "small
+  /// operation" of Levy-Lindenbaum step 2 in the distributed setting.
+  void root_svd_and_broadcast(const Matrix& r, Matrix& u_small, Vector& s);
+
+  /// Re-gather the global modes at root into SvdBase::modes_.
+  void gather_modes();
+
+  pmpi::Communicator& comm_;
+  TsqrVariant tsqr_variant_;
+  Matrix u_local_;        // local rows of the global modes, M_i x K
+  Rng rng_;               // root-rank sketch stream (low_rank mode)
+  Index num_rows_ = 0;    // this rank's row count (fixed after init)
+  Index row_offset_ = 0;
+  Index global_rows_ = 0;
+};
+
+}  // namespace parsvd

@@ -1,0 +1,55 @@
+#include "core/randomized.hpp"
+
+#include <algorithm>
+
+#include "linalg/blas.hpp"
+#include "linalg/qr.hpp"
+
+namespace parsvd {
+
+Matrix randomized_range_finder(const Matrix& a, const RandomizedOptions& opts,
+                               Rng& rng) {
+  PARSVD_REQUIRE(!a.empty(), "range finder of an empty matrix");
+  PARSVD_REQUIRE(opts.rank > 0, "randomized rank must be positive");
+  const Index m = a.rows();
+  const Index n = a.cols();
+  const Index sketch = std::min(opts.rank + opts.oversampling, std::min(m, n));
+
+  Matrix omega = Matrix::gaussian(n, sketch, rng);
+  Matrix y = matmul(a, omega);
+  orthonormalize_mgs2(y);
+
+  for (int it = 0; it < opts.power_iterations; ++it) {
+    // Y ← orth(A (Aᵀ Y)); the inner orthonormalization keeps the power
+    // iterates from collapsing onto the top singular direction.
+    Matrix z = matmul(a, y, Trans::Yes, Trans::No);
+    orthonormalize_mgs2(z);
+    y = matmul(a, z);
+    orthonormalize_mgs2(y);
+  }
+  return y;
+}
+
+SvdResult randomized_svd(const Matrix& a, const RandomizedOptions& opts,
+                         Rng& rng) {
+  const Matrix q = randomized_range_finder(a, opts, rng);
+  // B = Qᵀ A is (r + p) x n — small enough for a dense SVD.
+  const Matrix b = matmul(q, a, Trans::Yes, Trans::No);
+  SvdOptions inner;
+  inner.method = opts.inner_method;
+  SvdResult f = svd(b, inner);
+  f.u = matmul(q, f.u);
+
+  const Index keep = std::min(opts.rank, f.s.size());
+  f.u = f.u.left_cols(keep);
+  f.v = f.v.left_cols(keep);
+  f.s = f.s.head(keep);
+  return f;
+}
+
+SvdResult randomized_svd(const Matrix& a, const RandomizedOptions& opts) {
+  Rng rng(opts.seed);
+  return randomized_svd(a, opts, rng);
+}
+
+}  // namespace parsvd

@@ -1,0 +1,133 @@
+#include "core/tsqr.hpp"
+
+#include <algorithm>
+
+#include "linalg/blas.hpp"
+#include "linalg/qr.hpp"
+
+namespace parsvd {
+namespace {
+
+// Tag bases for the tree variant's per-level exchanges; the direct
+// variant uses the collectives' internal tags.
+constexpr int kTagTreeUp = 100;
+constexpr int kTagTreeDown = 200;
+
+TsqrResult tsqr_direct(pmpi::Communicator& comm, const Matrix& a_local) {
+  const int p = comm.size();
+
+  // Stage 1: local thin QR with the deterministic sign convention.
+  QrResult local = qr_thin(a_local);
+  if (p == 1) {
+    return {std::move(local.q), std::move(local.r)};
+  }
+
+  // Stage 2: gather R factors at root and factor the stack.
+  std::vector<Matrix> r_blocks = comm.gather_matrices(local.r, 0);
+
+  Matrix r_final;
+  if (comm.is_root()) {
+    const Matrix stacked = vcat(r_blocks);
+    QrResult root = qr_thin(stacked);
+    r_final = std::move(root.r);
+
+    // Stage 3: scatter row-slices of the stack's Q in rank order.
+    Index offset = 0;
+    Matrix my_slice;
+    for (int dst = 0; dst < p; ++dst) {
+      const Index nrows = r_blocks[static_cast<std::size_t>(dst)].rows();
+      Matrix slice = root.q.block(offset, 0, nrows, root.q.cols());
+      offset += nrows;
+      if (dst == 0) {
+        my_slice = std::move(slice);
+      } else {
+        comm.send_matrix(slice, dst, kTagTreeDown);
+      }
+    }
+    comm.bcast_matrix(r_final, 0);
+    return {matmul(local.q, my_slice), std::move(r_final)};
+  }
+
+  Matrix my_slice = comm.recv_matrix(0, kTagTreeDown);
+  comm.bcast_matrix(r_final, 0);
+  return {matmul(local.q, my_slice), std::move(r_final)};
+}
+
+TsqrResult tsqr_tree(pmpi::Communicator& comm, const Matrix& a_local) {
+  const int p = comm.size();
+  const int rank = comm.rank();
+
+  QrResult local = qr_thin(a_local);
+  if (p == 1) {
+    return {std::move(local.q), std::move(local.r)};
+  }
+
+  // Upward sweep: pairwise R combination. A rank is "active" at level l
+  // when rank % 2^(l+1) == 0; its partner is rank + 2^l.
+  struct LevelRecord {
+    Index rows_mine;     // rows contributed by our subtree's R
+    Index rows_partner;  // rows contributed by the partner's R
+    Matrix q_comb;       // (rows_mine + rows_partner) x k' combined Q
+    int partner;
+    int level;           // tree level (levels with no in-range partner skip)
+  };
+  std::vector<LevelRecord> records;
+  Matrix r_mine = local.r;
+  int sent_level = -1;  // level at which we shipped our R upward
+
+  for (int level = 0; (1 << level) < p; ++level) {
+    const int stride = 1 << level;
+    if (rank % (2 * stride) != 0) {
+      comm.send_matrix(r_mine, rank - stride, kTagTreeUp + level);
+      sent_level = level;
+      break;
+    }
+    const int partner = rank + stride;
+    if (partner >= p) continue;  // unpaired at this level; stay active
+    Matrix r_partner = comm.recv_matrix(partner, kTagTreeUp + level);
+    const Index rows_mine = r_mine.rows();
+    const Index rows_partner = r_partner.rows();
+    QrResult combined = qr_thin(vcat(r_mine, r_partner));
+    records.push_back(LevelRecord{rows_mine, rows_partner,
+                                  std::move(combined.q), partner, level});
+    r_mine = std::move(combined.r);
+  }
+
+  // Downward sweep: unwind accumulated transforms. The final R lives at
+  // rank 0; each rank's transform T satisfies Q_slice = Q_local · T.
+  Matrix r_final;
+  Matrix t;
+  if (rank == 0) {
+    r_final = r_mine;
+    t = Matrix::identity(r_mine.rows());
+  } else {
+    // Our transform arrives from the partner we sent our R to.
+    const int parent = rank - (1 << sent_level);
+    t = comm.recv_matrix(parent, kTagTreeDown + sent_level);
+  }
+  for (auto it = records.rbegin(); it != records.rend(); ++it) {
+    const Matrix q_top = it->q_comb.block(0, 0, it->rows_mine, it->q_comb.cols());
+    const Matrix q_bot = it->q_comb.block(it->rows_mine, 0, it->rows_partner,
+                                          it->q_comb.cols());
+    comm.send_matrix(matmul(q_bot, t), it->partner, kTagTreeDown + it->level);
+    t = matmul(q_top, t);
+  }
+  comm.bcast_matrix(r_final, 0);
+  return {matmul(local.q, t), std::move(r_final)};
+}
+
+}  // namespace
+
+TsqrResult tsqr(pmpi::Communicator& comm, const Matrix& a_local,
+                TsqrVariant variant) {
+  PARSVD_REQUIRE(!a_local.empty(), "tsqr of an empty local block");
+  switch (variant) {
+    case TsqrVariant::Direct:
+      return tsqr_direct(comm, a_local);
+    case TsqrVariant::Tree:
+      return tsqr_tree(comm, a_local);
+  }
+  throw ConfigError("unknown TSQR variant");
+}
+
+}  // namespace parsvd

@@ -1,0 +1,44 @@
+// Distributed tall-skinny QR (TSQR).
+//
+// The streaming update (Algorithm 1, step 1) needs the QR of a tall
+// matrix whose rows are partitioned across ranks.  Two variants:
+//
+//   Direct (Benson, Gleich & Demmel 2013; the one PyParSVD implements in
+//   Listing 4): every rank computes a local thin QR, the R factors are
+//   gathered and stacked at rank 0, one QR of the (Σkᵢ x n) stack yields
+//   the global R, and rank 0 scatters the matching row-slices of the
+//   stack's Q back so each rank forms Q_localᵢ = Qᵢ · sliceᵢ.
+//
+//   Tree: R factors combine pairwise up a binary reduction tree and the
+//   per-pair Q blocks are unwound down the same tree.  Message sizes stay
+//   O(n²) regardless of rank count, at the price of log₂(p) rounds —
+//   the classic trade against the direct variant's O(p·n²) root hotspot.
+//
+// Both use the deterministic positive-diagonal sign convention from
+// qr_thin, which replaces the sign-negation "trick for consistency" in
+// the PyParSVD listing (see DESIGN.md §4).
+#pragma once
+
+#include <vector>
+
+#include "core/options.hpp"
+#include "linalg/matrix.hpp"
+#include "pmpi/comm.hpp"
+
+namespace parsvd {
+
+struct TsqrResult {
+  /// Local slice of the global Q: rows match this rank's a_local rows,
+  /// columns = min(Σ min(Mᵢ, n), n).
+  Matrix q_local;
+  /// Global R factor, identical on every rank.
+  Matrix r;
+};
+
+/// Distributed thin QR of the implicitly row-stacked matrix
+/// A = [a_local⁰; a_local¹; ...]. Collective: every rank must call with
+/// the same column count and variant.
+TsqrResult tsqr(pmpi::Communicator& comm, const Matrix& a_local,
+                TsqrVariant variant = TsqrVariant::Direct);
+
+}  // namespace parsvd

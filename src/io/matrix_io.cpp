@@ -1,0 +1,137 @@
+#include "io/matrix_io.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace parsvd::io {
+namespace {
+
+constexpr std::uint64_t kMatrixMagic = 0x5053564d41545258ULL;  // "PSVMATRX"
+constexpr std::uint32_t kVersion = 1;
+
+struct Header {
+  std::uint64_t magic;
+  std::uint32_t version;
+  std::uint32_t reserved;
+  std::int64_t rows;
+  std::int64_t cols;
+};
+static_assert(sizeof(Header) == 32);
+
+}  // namespace
+
+void write_matrix(const std::string& path, const Matrix& m) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw IoError("cannot open for writing: " + path);
+  const Header h{kMatrixMagic, kVersion, 0, static_cast<std::int64_t>(m.rows()),
+                 static_cast<std::int64_t>(m.cols())};
+  out.write(reinterpret_cast<const char*>(&h), sizeof(h));
+  out.write(reinterpret_cast<const char*>(m.data()),
+            static_cast<std::streamsize>(static_cast<std::size_t>(m.size()) *
+                                         sizeof(double)));
+  if (!out) throw IoError("write failed: " + path);
+}
+
+Matrix read_matrix(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open for reading: " + path);
+  Header h{};
+  in.read(reinterpret_cast<char*>(&h), sizeof(h));
+  if (!in || h.magic != kMatrixMagic) {
+    throw IoError("not a parsvd matrix file: " + path);
+  }
+  if (h.version != kVersion) {
+    throw IoError("unsupported matrix file version in " + path);
+  }
+  if (h.rows < 0 || h.cols < 0) throw IoError("corrupt header in " + path);
+  Matrix m(static_cast<Index>(h.rows), static_cast<Index>(h.cols));
+  in.read(reinterpret_cast<char*>(m.data()),
+          static_cast<std::streamsize>(static_cast<std::size_t>(m.size()) *
+                                       sizeof(double)));
+  if (!in) throw IoError("truncated matrix file: " + path);
+  return m;
+}
+
+void write_vector(const std::string& path, const Vector& v) {
+  Matrix m(v.size(), 1);
+  m.set_col(0, v);
+  write_matrix(path, m);
+}
+
+Vector read_vector(const std::string& path) {
+  const Matrix m = read_matrix(path);
+  if (m.cols() != 1) throw IoError("not a vector file: " + path);
+  return m.col(0);
+}
+
+void write_csv(const std::string& path, const Matrix& m,
+               const std::vector<std::string>& column_names) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw IoError("cannot open for writing: " + path);
+  if (!column_names.empty()) {
+    PARSVD_REQUIRE(static_cast<Index>(column_names.size()) == m.cols(),
+                   "column name count mismatch");
+    for (std::size_t j = 0; j < column_names.size(); ++j) {
+      if (j > 0) out << ',';
+      out << column_names[j];
+    }
+    out << '\n';
+  }
+  char buf[40];
+  for (Index i = 0; i < m.rows(); ++i) {
+    for (Index j = 0; j < m.cols(); ++j) {
+      if (j > 0) out << ',';
+      std::snprintf(buf, sizeof(buf), "%.17g", m(i, j));
+      out << buf;
+    }
+    out << '\n';
+  }
+  if (!out) throw IoError("write failed: " + path);
+}
+
+Matrix read_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open for reading: " + path);
+  std::vector<std::vector<double>> rows;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<double> fields;
+    std::stringstream ss(line);
+    std::string cell;
+    bool numeric = true;
+    while (std::getline(ss, cell, ',')) {
+      char* end = nullptr;
+      const double v = std::strtod(cell.c_str(), &end);
+      if (end == cell.c_str() || (*end != '\0' && *end != '\r')) {
+        numeric = false;
+        break;
+      }
+      fields.push_back(v);
+    }
+    if (first && !numeric) {
+      first = false;  // header row
+      continue;
+    }
+    first = false;
+    if (!numeric) throw IoError("non-numeric CSV row in " + path);
+    if (!rows.empty() && rows.front().size() != fields.size()) {
+      throw IoError("ragged CSV in " + path);
+    }
+    rows.push_back(std::move(fields));
+  }
+  if (rows.empty()) return Matrix{};
+  Matrix m(static_cast<Index>(rows.size()),
+           static_cast<Index>(rows.front().size()));
+  for (Index i = 0; i < m.rows(); ++i) {
+    for (Index j = 0; j < m.cols(); ++j) {
+      m(i, j) = rows[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+    }
+  }
+  return m;
+}
+
+}  // namespace parsvd::io

@@ -1,0 +1,34 @@
+// Binary and CSV (de)serialization for matrices and vectors.
+//
+// The binary format is a fixed little-endian header (magic, version,
+// rows, cols) followed by column-major doubles — fast, exact round-trip.
+// CSV is for handing series to plotting tools and for EXPERIMENTS.md
+// artifacts; it is lossy only in the sense of %.17g formatting (which is
+// in fact exact for doubles).
+#pragma once
+
+#include <string>
+
+#include "linalg/matrix.hpp"
+
+namespace parsvd::io {
+
+/// Write `m` to `path` in the parsvd binary format (overwrites).
+void write_matrix(const std::string& path, const Matrix& m);
+
+/// Read a matrix written by write_matrix. Throws IoError on malformed
+/// files.
+Matrix read_matrix(const std::string& path);
+
+void write_vector(const std::string& path, const Vector& v);
+Vector read_vector(const std::string& path);
+
+/// CSV with an optional header row; one matrix row per line.
+void write_csv(const std::string& path, const Matrix& m,
+               const std::vector<std::string>& column_names = {});
+
+/// Parse a CSV produced by write_csv (header auto-detected: a first line
+/// with any non-numeric field is treated as column names).
+Matrix read_csv(const std::string& path);
+
+}  // namespace parsvd::io

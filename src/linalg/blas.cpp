@@ -1,0 +1,188 @@
+#include "linalg/blas.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/thread_pool.hpp"
+
+namespace parsvd {
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  PARSVD_REQUIRE(x.size() == y.size(), "dot: length mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) s += x[i] * y[i];
+  return s;
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  PARSVD_REQUIRE(x.size() == y.size(), "axpy: length mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scal(double alpha, std::span<double> x) {
+  for (double& v : x) v *= alpha;
+}
+
+double nrm2(std::span<const double> x) {
+  double scale = 0.0, ssq = 1.0;
+  for (double v : x) {
+    if (v == 0.0) continue;
+    const double av = std::fabs(v);
+    if (scale < av) {
+      ssq = 1.0 + ssq * (scale / av) * (scale / av);
+      scale = av;
+    } else {
+      ssq += (av / scale) * (av / scale);
+    }
+  }
+  return scale * std::sqrt(ssq);
+}
+
+void gemv(Trans trans_a, double alpha, const Matrix& a,
+          std::span<const double> x, double beta, std::span<double> y) {
+  const Index m = a.rows();
+  const Index n = a.cols();
+  if (trans_a == Trans::No) {
+    PARSVD_REQUIRE(static_cast<Index>(x.size()) == n &&
+                       static_cast<Index>(y.size()) == m,
+                   "gemv: shape mismatch");
+    for (Index i = 0; i < m; ++i) y[static_cast<std::size_t>(i)] *= beta;
+    // Column-major: accumulate one column at a time (unit stride).
+    for (Index j = 0; j < n; ++j) {
+      const double xj = alpha * x[static_cast<std::size_t>(j)];
+      if (xj == 0.0) continue;
+      const double* colj = a.col_data(j);
+      for (Index i = 0; i < m; ++i) y[static_cast<std::size_t>(i)] += xj * colj[i];
+    }
+  } else {
+    PARSVD_REQUIRE(static_cast<Index>(x.size()) == m &&
+                       static_cast<Index>(y.size()) == n,
+                   "gemv^T: shape mismatch");
+    for (Index j = 0; j < n; ++j) {
+      const double* colj = a.col_data(j);
+      double s = 0.0;
+      for (Index i = 0; i < m; ++i) s += colj[i] * x[static_cast<std::size_t>(i)];
+      y[static_cast<std::size_t>(j)] = alpha * s + beta * y[static_cast<std::size_t>(j)];
+    }
+  }
+}
+
+void ger(double alpha, std::span<const double> x, std::span<const double> y,
+         Matrix& a) {
+  PARSVD_REQUIRE(static_cast<Index>(x.size()) == a.rows() &&
+                     static_cast<Index>(y.size()) == a.cols(),
+                 "ger: shape mismatch");
+  for (Index j = 0; j < a.cols(); ++j) {
+    const double yj = alpha * y[static_cast<std::size_t>(j)];
+    if (yj == 0.0) continue;
+    double* colj = a.col_data(j);
+    for (Index i = 0; i < a.rows(); ++i) colj[i] += yj * x[static_cast<std::size_t>(i)];
+  }
+}
+
+namespace {
+
+// Inner kernel: C[mb x nb] += alpha * A[mb x kb] * B[kb x nb] where the
+// operands have already been packed / resolved to plain-index accessors.
+// We keep the kernel generic over the four transpose combinations by
+// resolving strides up front: element (i, k) of op(A) lives at
+// a_data[i * a_ri + k * a_rk].
+struct OpView {
+  const double* data;
+  Index stride_row;  // step when the op-row index advances
+  Index stride_col;  // step when the op-col index advances
+
+  double at(Index r, Index c) const { return data[r * stride_row + c * stride_col]; }
+};
+
+OpView make_view(const Matrix& m, Trans t) {
+  if (t == Trans::No) return {m.data(), 1, m.rows()};
+  return {m.data(), m.rows(), 1};
+}
+
+}  // namespace
+
+void gemm(Trans trans_a, Trans trans_b, double alpha, const Matrix& a,
+          const Matrix& b, double beta, Matrix& c) {
+  const Index m = (trans_a == Trans::No) ? a.rows() : a.cols();
+  const Index k = (trans_a == Trans::No) ? a.cols() : a.rows();
+  const Index kb = (trans_b == Trans::No) ? b.rows() : b.cols();
+  const Index n = (trans_b == Trans::No) ? b.cols() : b.rows();
+  PARSVD_REQUIRE(k == kb, "gemm: inner dimension mismatch");
+  PARSVD_REQUIRE(c.rows() == m && c.cols() == n, "gemm: C has wrong shape");
+
+  if (beta != 1.0) {
+    if (beta == 0.0) {
+      c.fill(0.0);
+    } else {
+      c *= beta;
+    }
+  }
+  if (alpha == 0.0 || m == 0 || n == 0 || k == 0) return;
+
+  const OpView va = make_view(a, trans_a);
+  const OpView vb = make_view(b, trans_b);
+
+  // Work is partitioned over column panels of C (disjoint writes, so the
+  // parallel path needs no synchronization).
+  auto run_panel = [&](Index j0, Index j1) {
+    constexpr Index kBlockK = 128;
+    constexpr Index kBlockI = 128;
+    for (Index jb = j0; jb < j1; ++jb) {
+      double* cj = c.col_data(jb);
+      for (Index k0 = 0; k0 < k; k0 += kBlockK) {
+        const Index k1 = std::min(k, k0 + kBlockK);
+        for (Index i0 = 0; i0 < m; i0 += kBlockI) {
+          const Index i1 = std::min(m, i0 + kBlockI);
+          for (Index kk = k0; kk < k1; ++kk) {
+            const double bkj = alpha * vb.at(kk, jb);
+            if (bkj == 0.0) continue;
+            const double* arow = va.data + kk * va.stride_col;
+            if (va.stride_row == 1) {
+              // op(A) column kk is contiguous: vectorizable axpy.
+              for (Index i = i0; i < i1; ++i) cj[i] += bkj * arow[i];
+            } else {
+              for (Index i = i0; i < i1; ++i) {
+                cj[i] += bkj * arow[i * va.stride_row];
+              }
+            }
+          }
+        }
+      }
+    }
+  };
+
+  const Index flops_proxy = m * n * k;
+  if (flops_proxy >= kGemmParallelThreshold && ThreadPool::global().size() > 0) {
+    ThreadPool::global().parallel_for(
+        0, static_cast<std::size_t>(n),
+        [&](std::size_t lo, std::size_t hi) {
+          run_panel(static_cast<Index>(lo), static_cast<Index>(hi));
+        });
+  } else {
+    run_panel(0, n);
+  }
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b, Trans trans_a, Trans trans_b) {
+  const Index m = (trans_a == Trans::No) ? a.rows() : a.cols();
+  const Index n = (trans_b == Trans::No) ? b.cols() : b.rows();
+  Matrix c(m, n);
+  gemm(trans_a, trans_b, 1.0, a, b, 0.0, c);
+  return c;
+}
+
+Matrix gram(const Matrix& a) {
+  const Index n = a.cols();
+  Matrix g(n, n);
+  for (Index j = 0; j < n; ++j) {
+    for (Index i = 0; i <= j; ++i) {
+      const double v = dot(a.col_span(i), a.col_span(j));
+      g(i, j) = v;
+      g(j, i) = v;
+    }
+  }
+  return g;
+}
+
+}  // namespace parsvd

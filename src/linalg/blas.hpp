@@ -1,0 +1,59 @@
+// BLAS-style dense kernels.
+//
+// The substrate the paper gets for free from NumPy/LAPACK. Level-3 matmul
+// is cache-blocked and (above a size threshold) parallelized over the
+// shared-memory thread pool; everything else is straightforward level-1/2
+// code — the library's cost profile is dominated by GEMM and the
+// factorizations built on it.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace parsvd {
+
+/// Transposition selector for matmul operands.
+enum class Trans { No, Yes };
+
+// ------------------------------------------------------------- level 1
+
+/// dot(x, y) = xᵀy
+double dot(std::span<const double> x, std::span<const double> y);
+
+/// y += alpha * x
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// x *= alpha
+void scal(double alpha, std::span<double> x);
+
+/// Euclidean norm with overflow-safe scaling.
+double nrm2(std::span<const double> x);
+
+// ------------------------------------------------------------- level 2
+
+/// y = alpha * op(A) x + beta * y
+void gemv(Trans trans_a, double alpha, const Matrix& a,
+          std::span<const double> x, double beta, std::span<double> y);
+
+/// A += alpha * x yᵀ  (rank-1 update)
+void ger(double alpha, std::span<const double> x, std::span<const double> y,
+         Matrix& a);
+
+// ------------------------------------------------------------- level 3
+
+/// C = alpha * op(A) op(B) + beta * C.
+/// Shapes are validated; C must already have the result shape.
+void gemm(Trans trans_a, Trans trans_b, double alpha, const Matrix& a,
+          const Matrix& b, double beta, Matrix& c);
+
+/// Convenience: returns op(A) op(B) as a fresh matrix.
+Matrix matmul(const Matrix& a, const Matrix& b,
+              Trans trans_a = Trans::No, Trans trans_b = Trans::No);
+
+/// C = AᵀA (n x n Gram matrix), exploiting symmetry.
+Matrix gram(const Matrix& a);
+
+/// Minimum per-op element count before GEMM fans out to the thread pool;
+/// exposed so tests can force both the serial and parallel paths.
+inline constexpr Index kGemmParallelThreshold = 64 * 64 * 64;
+
+}  // namespace parsvd

@@ -1,0 +1,213 @@
+// Symmetric eigendecomposition via Householder tridiagonalization and
+// implicit-shift QL iteration — the classic tred2/tql2 pair (Bowdler,
+// Martin, Reinsch & Wilkinson 1968; EISPACK lineage), written against
+// Golub & Van Loan §8.3. Independent of the Jacobi backend in eigh.cpp
+// so the two can cross-validate each other in the test suite.
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "linalg/eigh.hpp"
+
+namespace parsvd {
+namespace {
+
+/// Householder reduction of the symmetric matrix stored in z to
+/// tridiagonal form: on return d holds the diagonal, e the subdiagonal
+/// (e[0] = 0), and z the accumulated orthogonal transform Q with
+/// A = Q T Qᵀ.
+void tred2(Matrix& z, std::vector<double>& d, std::vector<double>& e) {
+  const Index n = z.rows();
+
+  for (Index i = n - 1; i >= 1; --i) {
+    const Index l = i - 1;
+    double h = 0.0;
+    if (l > 0) {
+      double scale = 0.0;
+      for (Index k = 0; k <= l; ++k) scale += std::fabs(z(i, k));
+      if (scale == 0.0) {
+        e[static_cast<std::size_t>(i)] = z(i, l);
+      } else {
+        for (Index k = 0; k <= l; ++k) {
+          z(i, k) /= scale;
+          h += z(i, k) * z(i, k);
+        }
+        double f = z(i, l);
+        double g = (f >= 0.0) ? -std::sqrt(h) : std::sqrt(h);
+        e[static_cast<std::size_t>(i)] = scale * g;
+        h -= f * g;
+        z(i, l) = f - g;
+        f = 0.0;
+        for (Index j = 0; j <= l; ++j) {
+          z(j, i) = z(i, j) / h;  // store u/H for the transform pass
+          g = 0.0;
+          for (Index k = 0; k <= j; ++k) g += z(j, k) * z(i, k);
+          for (Index k = j + 1; k <= l; ++k) g += z(k, j) * z(i, k);
+          e[static_cast<std::size_t>(j)] = g / h;
+          f += e[static_cast<std::size_t>(j)] * z(i, j);
+        }
+        const double hh = f / (h + h);
+        for (Index j = 0; j <= l; ++j) {
+          f = z(i, j);
+          g = e[static_cast<std::size_t>(j)] - hh * f;
+          e[static_cast<std::size_t>(j)] = g;
+          for (Index k = 0; k <= j; ++k) {
+            z(j, k) -= f * e[static_cast<std::size_t>(k)] + g * z(i, k);
+          }
+        }
+      }
+    } else {
+      e[static_cast<std::size_t>(i)] = z(i, l);
+    }
+    d[static_cast<std::size_t>(i)] = h;
+  }
+
+  // Accumulate the orthogonal transform.
+  d[0] = 0.0;
+  e[0] = 0.0;
+  for (Index i = 0; i < n; ++i) {
+    const Index l = i - 1;
+    if (d[static_cast<std::size_t>(i)] != 0.0) {
+      for (Index j = 0; j <= l; ++j) {
+        double g = 0.0;
+        for (Index k = 0; k <= l; ++k) g += z(i, k) * z(k, j);
+        for (Index k = 0; k <= l; ++k) z(k, j) -= g * z(k, i);
+      }
+    }
+    d[static_cast<std::size_t>(i)] = z(i, i);
+    z(i, i) = 1.0;
+    for (Index j = 0; j <= l; ++j) {
+      z(j, i) = 0.0;
+      z(i, j) = 0.0;
+    }
+  }
+}
+
+/// Implicit-shift QL iteration on the tridiagonal (d, e) with
+/// eigenvector accumulation into z. e[0] is ignored on entry.
+void tql2(Matrix& z, std::vector<double>& d, std::vector<double>& e) {
+  const Index n = z.rows();
+  if (n == 1) return;
+
+  for (Index i = 1; i < n; ++i) e[static_cast<std::size_t>(i - 1)] = e[static_cast<std::size_t>(i)];
+  e[static_cast<std::size_t>(n - 1)] = 0.0;
+
+  constexpr double kEps = 2.220446049250313e-16;
+  // Absolute deflation floor: rank-deficient inputs (e.g. Gram matrices
+  // of low-rank data) leave trailing blocks whose d AND e entries are
+  // all round-off noise ~ eps*||A||; the relative test |e| <= eps*dd
+  // never fires there and the sweep stagnates. Dropping |e| <= eps*anorm
+  // perturbs eigenvalues by at most eps*||A|| — the method's intrinsic
+  // (backward-stable) accuracy.
+  double anorm = 0.0;
+  for (Index i = 0; i < n; ++i) {
+    anorm = std::max(anorm, std::fabs(d[static_cast<std::size_t>(i)]) +
+                                std::fabs(e[static_cast<std::size_t>(i)]));
+  }
+  const double abs_floor = kEps * anorm;
+
+  constexpr int kMaxIter = 50;
+  for (Index l = 0; l < n; ++l) {
+    int iter = 0;
+    Index m;
+    do {
+      // Look for a negligible subdiagonal element to split at.
+      for (m = l; m + 1 < n; ++m) {
+        const double dd = std::fabs(d[static_cast<std::size_t>(m)]) +
+                          std::fabs(d[static_cast<std::size_t>(m + 1)]);
+        const double em = std::fabs(e[static_cast<std::size_t>(m)]);
+        if (em <= kEps * dd || em <= abs_floor) {
+          break;
+        }
+      }
+      if (m != l) {
+        if (++iter > kMaxIter) {
+          throw ConvergenceError("tql2 exceeded its iteration budget");
+        }
+        // Wilkinson shift from the leading 2x2.
+        double g = (d[static_cast<std::size_t>(l + 1)] -
+                    d[static_cast<std::size_t>(l)]) /
+                   (2.0 * e[static_cast<std::size_t>(l)]);
+        double r = std::hypot(g, 1.0);
+        g = d[static_cast<std::size_t>(m)] - d[static_cast<std::size_t>(l)] +
+            e[static_cast<std::size_t>(l)] / (g + std::copysign(r, g));
+        double s = 1.0, c = 1.0, p = 0.0;
+        Index i = m - 1;
+        for (; i >= l; --i) {
+          double f = s * e[static_cast<std::size_t>(i)];
+          const double b = c * e[static_cast<std::size_t>(i)];
+          r = std::hypot(f, g);
+          e[static_cast<std::size_t>(i + 1)] = r;
+          if (r == 0.0) {
+            // Deflate without finishing the sweep.
+            d[static_cast<std::size_t>(i + 1)] -= p;
+            e[static_cast<std::size_t>(m)] = 0.0;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[static_cast<std::size_t>(i + 1)] - p;
+          r = (d[static_cast<std::size_t>(i)] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[static_cast<std::size_t>(i + 1)] = g + p;
+          g = c * r - b;
+          // Accumulate the rotation into the eigenvector matrix.
+          for (Index k = 0; k < n; ++k) {
+            f = z(k, i + 1);
+            z(k, i + 1) = s * z(k, i) + c * f;
+            z(k, i) = c * z(k, i) - s * f;
+          }
+        }
+        if (r == 0.0 && i >= l) continue;
+        d[static_cast<std::size_t>(l)] -= p;
+        e[static_cast<std::size_t>(l)] = g;
+        e[static_cast<std::size_t>(m)] = 0.0;
+      }
+    } while (m != l);
+  }
+}
+
+}  // namespace
+
+EighResult eigh_tridiagonal(const Matrix& input, const EighOptions& opts) {
+  PARSVD_REQUIRE(input.rows() == input.cols(),
+                 "eigh requires a square matrix");
+  const Index n = input.rows();
+  if (n == 0) return {Vector{}, Matrix{}};
+
+  const double scale = std::max(input.norm_max(), 1.0);
+  Matrix z(n, n);
+  for (Index j = 0; j < n; ++j) {
+    for (Index i = 0; i <= j; ++i) {
+      PARSVD_REQUIRE(std::fabs(input(i, j) - input(j, i)) <= 1e-8 * scale,
+                     "eigh input is not symmetric");
+      const double v = 0.5 * (input(i, j) + input(j, i));
+      z(i, j) = v;
+      z(j, i) = v;
+    }
+  }
+
+  std::vector<double> d(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> e(static_cast<std::size_t>(n), 0.0);
+  tred2(z, d, e);
+  tql2(z, d, e);
+
+  std::vector<Index> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), Index{0});
+  std::stable_sort(order.begin(), order.end(), [&d](Index a, Index b) {
+    return d[static_cast<std::size_t>(a)] > d[static_cast<std::size_t>(b)];
+  });
+
+  EighResult out;
+  out.values = Vector(n);
+  out.vectors = Matrix(n, n);
+  for (Index k = 0; k < n; ++k) {
+    const Index src = order[static_cast<std::size_t>(k)];
+    out.values[k] = d[static_cast<std::size_t>(src)];
+    out.vectors.set_col(k, z.col(src));
+  }
+  (void)opts;
+  return out;
+}
+
+}  // namespace parsvd

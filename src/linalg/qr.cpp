@@ -1,0 +1,209 @@
+#include "linalg/qr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/blas.hpp"
+
+namespace parsvd {
+namespace {
+
+// Generate a Householder reflector for x = (alpha; tail) such that
+// (I - tau v vᵀ) x = (beta; 0), with v = (1; tail/ (alpha - beta)).
+// Returns {tau, beta}; v's tail is written over x's tail.
+struct Reflector {
+  double tau;
+  double beta;
+};
+
+Reflector make_reflector(double alpha, std::span<double> tail) {
+  const double xnorm = nrm2(tail);
+  if (xnorm == 0.0) {
+    // Nothing below the diagonal: identity reflector.
+    return {0.0, alpha};
+  }
+  double beta = std::hypot(alpha, xnorm);
+  if (alpha >= 0.0) beta = -beta;  // choose sign to avoid cancellation
+  const double tau = (beta - alpha) / beta;
+  const double inv = 1.0 / (alpha - beta);
+  scal(inv, tail);
+  return {tau, beta};
+}
+
+}  // namespace
+
+HouseholderQr::HouseholderQr(const Matrix& a) : qr_(a) {
+  const Index m = qr_.rows();
+  const Index n = qr_.cols();
+  PARSVD_REQUIRE(m > 0 && n > 0, "QR of an empty matrix");
+  const Index k = std::min(m, n);
+  tau_.assign(static_cast<std::size_t>(k), 0.0);
+
+  std::vector<double> work(static_cast<std::size_t>(n));
+  for (Index j = 0; j < k; ++j) {
+    double* colj = qr_.col_data(j);
+    std::span<double> tail(colj + j + 1, static_cast<std::size_t>(m - j - 1));
+    const Reflector h = make_reflector(colj[j], tail);
+    tau_[static_cast<std::size_t>(j)] = h.tau;
+    colj[j] = h.beta;
+    if (h.tau == 0.0) continue;
+
+    // Apply (I - tau v vᵀ) to the trailing columns j+1..n-1.
+    // v = (1, qr_(j+1..m-1, j)).
+    for (Index c = j + 1; c < n; ++c) {
+      double* colc = qr_.col_data(c);
+      double w = colc[j];
+      for (Index i = j + 1; i < m; ++i) w += colj[i] * colc[i];
+      w *= h.tau;
+      colc[j] -= w;
+      for (Index i = j + 1; i < m; ++i) colc[i] -= w * colj[i];
+    }
+  }
+}
+
+Matrix HouseholderQr::r() const {
+  const Index m = qr_.rows();
+  const Index n = qr_.cols();
+  const Index k = std::min(m, n);
+  Matrix out(k, n);
+  for (Index j = 0; j < n; ++j) {
+    const Index upto = std::min(j + 1, k);
+    for (Index i = 0; i < upto; ++i) out(i, j) = qr_(i, j);
+  }
+  return out;
+}
+
+Matrix HouseholderQr::thin_q() const {
+  const Index m = qr_.rows();
+  const Index k = rank_bound();
+  // Start from the leading k columns of I and apply Q = H_0 ... H_{k-1}.
+  Matrix q(m, k);
+  for (Index j = 0; j < k; ++j) q(j, j) = 1.0;
+  apply_q(q);
+  return q;
+}
+
+void HouseholderQr::apply_qt(Matrix& b) const {
+  const Index m = qr_.rows();
+  PARSVD_REQUIRE(b.rows() == m, "apply_qt: row mismatch");
+  const Index k = rank_bound();
+  // Qᵀ = H_{k-1} ... H_0 applied in forward order.
+  for (Index j = 0; j < k; ++j) {
+    const double tau = tau_[static_cast<std::size_t>(j)];
+    if (tau == 0.0) continue;
+    const double* v = qr_.col_data(j);
+    for (Index c = 0; c < b.cols(); ++c) {
+      double* colc = b.col_data(c);
+      double w = colc[j];
+      for (Index i = j + 1; i < m; ++i) w += v[i] * colc[i];
+      w *= tau;
+      colc[j] -= w;
+      for (Index i = j + 1; i < m; ++i) colc[i] -= w * v[i];
+    }
+  }
+}
+
+void HouseholderQr::apply_q(Matrix& b) const {
+  const Index m = qr_.rows();
+  PARSVD_REQUIRE(b.rows() == m, "apply_q: row mismatch");
+  const Index k = rank_bound();
+  // Q = H_0 ... H_{k-1} applied in reverse order.
+  for (Index j = k - 1; j >= 0; --j) {
+    const double tau = tau_[static_cast<std::size_t>(j)];
+    if (tau == 0.0) continue;
+    const double* v = qr_.col_data(j);
+    for (Index c = 0; c < b.cols(); ++c) {
+      double* colc = b.col_data(c);
+      double w = colc[j];
+      for (Index i = j + 1; i < m; ++i) w += v[i] * colc[i];
+      w *= tau;
+      colc[j] -= w;
+      for (Index i = j + 1; i < m; ++i) colc[i] -= w * v[i];
+    }
+  }
+}
+
+Vector HouseholderQr::solve_least_squares(const Vector& b) const {
+  const Index m = qr_.rows();
+  const Index n = qr_.cols();
+  PARSVD_REQUIRE(b.size() == m, "least-squares rhs length mismatch");
+  PARSVD_REQUIRE(m >= n, "least squares requires m >= n");
+
+  Matrix rhs(m, 1);
+  rhs.set_col(0, b);
+  apply_qt(rhs);
+
+  // Back substitution on the n x n upper triangle.
+  Vector x(n);
+  for (Index i = n - 1; i >= 0; --i) {
+    double s = rhs(i, 0);
+    for (Index j = i + 1; j < n; ++j) s -= qr_(i, j) * x[j];
+    const double rii = qr_(i, i);
+    PARSVD_REQUIRE(rii != 0.0, "rank-deficient least-squares system");
+    x[i] = s / rii;
+  }
+  return x;
+}
+
+QrResult qr_thin_raw(const Matrix& a) {
+  HouseholderQr f(a);
+  return {f.thin_q(), f.r()};
+}
+
+QrResult qr_thin(const Matrix& a) {
+  QrResult qr = qr_thin_raw(a);
+  // Deterministic sign convention: flip so every diagonal of R is >= 0.
+  const Index k = std::min(qr.r.rows(), qr.r.cols());
+  for (Index i = 0; i < k; ++i) {
+    if (qr.r(i, i) < 0.0) {
+      for (Index j = 0; j < qr.r.cols(); ++j) qr.r(i, j) = -qr.r(i, j);
+      double* qc = qr.q.col_data(i);
+      for (Index r = 0; r < qr.q.rows(); ++r) qc[r] = -qc[r];
+    }
+  }
+  return qr;
+}
+
+Index orthonormalize_mgs2(Matrix& a, double tol) {
+  const Index m = a.rows();
+  const Index n = a.cols();
+  Index dropped = 0;
+  std::vector<double> initial(static_cast<std::size_t>(n));
+  for (Index j = 0; j < n; ++j) initial[static_cast<std::size_t>(j)] = nrm2(a.col_span(j));
+
+  for (Index j = 0; j < n; ++j) {
+    auto colj = a.col_span(j);
+    // Two MGS passes against all previous columns for CGS2-level
+    // orthogonality (single-pass MGS loses orthogonality at kappa ~ 1e8).
+    for (int pass = 0; pass < 2; ++pass) {
+      for (Index i = 0; i < j; ++i) {
+        const double proj = dot(a.col_span(i), colj);
+        axpy(-proj, a.col_span(i), colj);
+      }
+    }
+    const double norm = nrm2(colj);
+    const double floor_norm = tol * std::max(initial[static_cast<std::size_t>(j)], 1.0);
+    if (norm <= floor_norm) {
+      std::fill(colj.begin(), colj.end(), 0.0);
+      ++dropped;
+    } else {
+      scal(1.0 / norm, colj);
+    }
+  }
+  (void)m;
+  return dropped;
+}
+
+double orthogonality_error(const Matrix& q) {
+  const Matrix g = gram(q);
+  double err = 0.0;
+  for (Index j = 0; j < g.cols(); ++j) {
+    for (Index i = 0; i < g.rows(); ++i) {
+      const double target = (i == j) ? 1.0 : 0.0;
+      err = std::max(err, std::fabs(g(i, j) - target));
+    }
+  }
+  return err;
+}
+
+}  // namespace parsvd

@@ -1,0 +1,74 @@
+// QR factorizations.
+//
+// Householder QR is the workhorse of both the streaming SVD update
+// (Algorithm 1, step 1) and the local stage of TSQR.  We keep the
+// factored (compact WY-free) representation so Qᵀb products don't need an
+// explicit Q, and expose a thin-QR convenience with a deterministic sign
+// convention: diag(R) >= 0.  The PyParSVD code obtains cross-rank
+// consistency by negating NumPy's Q and R ("trick for consistency");
+// fixing the sign inside the factorization achieves the same goal
+// deterministically for every backend and rank count.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace parsvd {
+
+/// Thin QR result: for A (m x n), q is m x min(m,n) with orthonormal
+/// columns, r is min(m,n) x n upper-triangular(-trapezoidal), A = q r.
+struct QrResult {
+  Matrix q;
+  Matrix r;
+};
+
+/// Householder QR in factored form.
+///
+/// Stores the reflectors in the lower triangle of the working copy plus
+/// the tau coefficients (LAPACK geqrf layout). Cost 2mn^2 - 2n^3/3 flops.
+class HouseholderQr {
+ public:
+  /// Factor A (any shape; m >= 1, n >= 1).
+  explicit HouseholderQr(const Matrix& a);
+
+  Index rows() const { return qr_.rows(); }
+  Index cols() const { return qr_.cols(); }
+  /// Number of reflectors = min(m, n).
+  Index rank_bound() const { return static_cast<Index>(tau_.size()); }
+
+  /// R factor, min(m,n) x n, upper triangular/trapezoidal.
+  Matrix r() const;
+
+  /// Thin Q, m x min(m,n), orthonormal columns.
+  Matrix thin_q() const;
+
+  /// In-place B := Qᵀ B (B has m rows).
+  void apply_qt(Matrix& b) const;
+
+  /// In-place B := Q B (B has m rows).
+  void apply_q(Matrix& b) const;
+
+  /// Minimum-norm least-squares solution of min ||A x - b||_2 for m >= n
+  /// with full column rank (no pivoting; throws on exactly-zero pivot).
+  Vector solve_least_squares(const Vector& b) const;
+
+ private:
+  Matrix qr_;                 // reflectors below diagonal, R on/above
+  std::vector<double> tau_;   // reflector scaling coefficients
+};
+
+/// Thin QR with the deterministic sign convention diag(R) >= 0.
+QrResult qr_thin(const Matrix& a);
+
+/// Thin QR without the sign fix (raw Householder output).
+QrResult qr_thin_raw(const Matrix& a);
+
+/// Orthonormalize the columns of `a` in place with modified Gram-Schmidt
+/// applied twice (CGS2-quality orthogonality, ~2mn^2 flops). Columns that
+/// collapse below `tol * initial_norm` are replaced with zeros and their
+/// count is returned (rank deficiency indicator).
+Index orthonormalize_mgs2(Matrix& a, double tol = 1e-12);
+
+/// || QᵀQ - I ||_max — orthogonality defect used widely in tests.
+double orthogonality_error(const Matrix& q);
+
+}  // namespace parsvd

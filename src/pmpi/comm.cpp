@@ -1,0 +1,341 @@
+#include "pmpi/comm.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "support/log.hpp"
+
+namespace parsvd::pmpi {
+
+// ---------------------------------------------------------------- Context
+
+Context::Context(int size) : size_(size) {
+  PARSVD_REQUIRE(size >= 1, "communicator size must be >= 1");
+  boxes_.reserve(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i) boxes_.push_back(std::make_unique<Mailbox>());
+  bytes_by_rank_.assign(static_cast<std::size_t>(size), 0);
+}
+
+void Context::post(int src, int dest, int tag, std::vector<std::byte> payload) {
+  PARSVD_REQUIRE(dest >= 0 && dest < size_, "post: dest out of range");
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    bytes_by_rank_[static_cast<std::size_t>(src)] += payload.size();
+    ++messages_;
+  }
+  Mailbox& box = *boxes_[static_cast<std::size_t>(dest)];
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.queue.push_back(PendingMessage{src, tag, std::move(payload)});
+  }
+  box.cv.notify_all();
+}
+
+std::vector<std::byte> Context::wait(int dest, int src, int tag) {
+  PARSVD_REQUIRE(dest >= 0 && dest < size_, "wait: dest out of range");
+  Mailbox& box = *boxes_[static_cast<std::size_t>(dest)];
+  std::unique_lock<std::mutex> lock(box.mu);
+  for (;;) {
+    // FIFO per (src, tag): take the first matching message in arrival
+    // order, the ordering guarantee MPI provides per channel.
+    auto it = std::find_if(box.queue.begin(), box.queue.end(),
+                           [src, tag](const PendingMessage& m) {
+                             return m.src == src && m.tag == tag;
+                           });
+    if (it != box.queue.end()) {
+      std::vector<std::byte> payload = std::move(it->payload);
+      box.queue.erase(it);
+      return payload;
+    }
+    if (aborted()) {
+      throw CommError("communicator aborted while waiting for a message");
+    }
+    box.cv.wait(lock);
+  }
+}
+
+void Context::abort_job() {
+  log::warn("pmpi: aborting job of ", size_, " ranks after a rank failure");
+  aborted_.store(true, std::memory_order_release);
+  for (auto& box : boxes_) {
+    std::lock_guard<std::mutex> lock(box->mu);
+    box->cv.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lock(barrier_mu_);
+    ++barrier_generation_;  // release current waiters
+    barrier_cv_.notify_all();
+  }
+}
+
+void Context::barrier() {
+  std::unique_lock<std::mutex> lock(barrier_mu_);
+  const std::uint64_t my_generation = barrier_generation_;
+  if (++barrier_waiting_ == size_) {
+    barrier_waiting_ = 0;
+    ++barrier_generation_;
+    barrier_cv_.notify_all();
+    return;
+  }
+  barrier_cv_.wait(lock, [this, my_generation] {
+    return barrier_generation_ != my_generation || aborted();
+  });
+  if (aborted()) throw CommError("communicator aborted during barrier");
+}
+
+std::uint64_t Context::total_bytes() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  std::uint64_t sum = 0;
+  for (std::uint64_t b : bytes_by_rank_) sum += b;
+  return sum;
+}
+
+std::uint64_t Context::rank_bytes(int rank) const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  PARSVD_REQUIRE(rank >= 0 && rank < size_, "rank out of range");
+  return bytes_by_rank_[static_cast<std::size_t>(rank)];
+}
+
+std::uint64_t Context::total_messages() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return messages_;
+}
+
+// ----------------------------------------------------------- Communicator
+
+Communicator::Communicator(int rank, std::shared_ptr<Context> ctx)
+    : rank_(rank), ctx_(std::move(ctx)) {
+  PARSVD_REQUIRE(ctx_ != nullptr, "null context");
+  PARSVD_REQUIRE(rank_ >= 0 && rank_ < ctx_->size(), "rank out of range");
+}
+
+void Communicator::send_bytes(std::vector<std::byte> payload, int dest, int tag) {
+  ctx_->post(rank_, dest, tag, std::move(payload));
+}
+
+std::vector<std::byte> Communicator::recv_bytes(int src, int tag) {
+  return ctx_->wait(rank_, src, tag);
+}
+
+namespace {
+
+std::vector<std::byte> pack_matrix(const Matrix& m) {
+  const std::int64_t header[2] = {static_cast<std::int64_t>(m.rows()),
+                                  static_cast<std::int64_t>(m.cols())};
+  std::vector<std::byte> payload(sizeof(header) +
+                                 static_cast<std::size_t>(m.size()) * sizeof(double));
+  std::memcpy(payload.data(), header, sizeof(header));
+  std::memcpy(payload.data() + sizeof(header), m.data(),
+              static_cast<std::size_t>(m.size()) * sizeof(double));
+  return payload;
+}
+
+Matrix unpack_matrix(const std::vector<std::byte>& payload) {
+  PARSVD_REQUIRE(payload.size() >= 2 * sizeof(std::int64_t),
+                 "matrix payload too short");
+  std::int64_t header[2];
+  std::memcpy(header, payload.data(), sizeof(header));
+  Matrix m(static_cast<Index>(header[0]), static_cast<Index>(header[1]));
+  const std::size_t body = static_cast<std::size_t>(m.size()) * sizeof(double);
+  PARSVD_REQUIRE(payload.size() == sizeof(header) + body,
+                 "matrix payload size mismatch");
+  std::memcpy(m.data(), payload.data() + sizeof(header), body);
+  return m;
+}
+
+}  // namespace
+
+void Communicator::send_matrix(const Matrix& m, int dest, int tag) {
+  check_peer(dest);
+  check_tag(tag);
+  send_bytes(pack_matrix(m), dest, tag);
+}
+
+Matrix Communicator::recv_matrix(int src, int tag) {
+  check_peer(src);
+  check_tag(tag);
+  return unpack_matrix(recv_bytes(src, tag));
+}
+
+void Communicator::bcast_matrix(Matrix& m, int root) {
+  std::vector<std::byte> payload;
+  if (rank_ == root) payload = pack_matrix(m);
+  bcast(payload, root);
+  if (rank_ != root) m = unpack_matrix(payload);
+}
+
+void Communicator::bcast_double(double& value, int root) {
+  std::vector<double> buf{value};
+  bcast(buf, root);
+  value = buf.at(0);
+}
+
+void Communicator::bcast_index(Index& value, int root) {
+  std::vector<std::int64_t> buf{static_cast<std::int64_t>(value)};
+  bcast(buf, root);
+  value = static_cast<Index>(buf.at(0));
+}
+
+std::vector<Matrix> Communicator::gather_matrices(const Matrix& local, int root) {
+  check_peer(root);
+  if (rank_ != root) {
+    send_bytes(pack_matrix(local), root, kTagGather);
+    return {};
+  }
+  std::vector<Matrix> out;
+  out.reserve(static_cast<std::size_t>(size()));
+  for (int src = 0; src < size(); ++src) {
+    if (src == root) {
+      out.push_back(local);
+    } else {
+      out.push_back(unpack_matrix(ctx_->wait(rank_, src, kTagGather)));
+    }
+  }
+  return out;
+}
+
+std::vector<double> Communicator::allgather_double(double value) {
+  std::vector<double> local{value};
+  std::vector<double> all = gatherv<double>(local, 0);
+  bcast(all, 0);
+  return all;
+}
+
+std::vector<Index> Communicator::allgather_index(Index value) {
+  std::vector<std::int64_t> local{static_cast<std::int64_t>(value)};
+  std::vector<std::int64_t> all = gatherv<std::int64_t>(local, 0);
+  bcast(all, 0);
+  std::vector<Index> out(all.size());
+  std::transform(all.begin(), all.end(), out.begin(),
+                 [](std::int64_t v) { return static_cast<Index>(v); });
+  return out;
+}
+
+Matrix Communicator::scatter_rows(const Matrix& full,
+                                  std::span<const Index> rows_per_rank,
+                                  int root) {
+  check_peer(root);
+  PARSVD_REQUIRE(static_cast<int>(rows_per_rank.size()) == size(),
+                 "scatter_rows: need one row count per rank");
+  if (rank_ == root) {
+    Index total = 0;
+    for (Index r : rows_per_rank) total += r;
+    PARSVD_REQUIRE(total == full.rows(), "scatter_rows: counts don't sum to rows");
+    Index offset = 0;
+    Matrix mine;
+    for (int dst = 0; dst < size(); ++dst) {
+      const Index nrows = rows_per_rank[static_cast<std::size_t>(dst)];
+      Matrix block = full.block(offset, 0, nrows, full.cols());
+      offset += nrows;
+      if (dst == root) {
+        mine = std::move(block);
+      } else {
+        send_bytes(pack_matrix(block), dst, kTagScatter);
+      }
+    }
+    return mine;
+  }
+  return unpack_matrix(ctx_->wait(rank_, root, kTagScatter));
+}
+
+namespace {
+
+void apply_op(Op op, std::span<double> acc, std::span<const double> incoming) {
+  PARSVD_REQUIRE(acc.size() == incoming.size(), "reduce length mismatch");
+  switch (op) {
+    case Op::Sum:
+      for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += incoming[i];
+      return;
+    case Op::Max:
+      for (std::size_t i = 0; i < acc.size(); ++i)
+        acc[i] = std::max(acc[i], incoming[i]);
+      return;
+    case Op::Min:
+      for (std::size_t i = 0; i < acc.size(); ++i)
+        acc[i] = std::min(acc[i], incoming[i]);
+      return;
+  }
+  throw ConfigError("unknown reduction op");
+}
+
+}  // namespace
+
+void Communicator::reduce(std::span<double> data, Op op, int root) {
+  check_peer(root);
+  if (rank_ != root) {
+    std::vector<std::byte> payload(data.size_bytes());
+    std::memcpy(payload.data(), data.data(), data.size_bytes());
+    send_bytes(std::move(payload), root, kTagReduce);
+    return;
+  }
+  // Accumulate contributions in a fixed rank order so the result is
+  // deterministic run-to-run (floating-point reduction order matters).
+  for (int src = 0; src < size(); ++src) {
+    if (src == root) continue;
+    const std::vector<std::byte> payload = ctx_->wait(rank_, src, kTagReduce);
+    PARSVD_REQUIRE(payload.size() == data.size_bytes(),
+                   "reduce: contribution size mismatch");
+    std::span<const double> incoming(
+        reinterpret_cast<const double*>(payload.data()), data.size());
+    apply_op(op, data, incoming);
+  }
+}
+
+void Communicator::allreduce(std::span<double> data, Op op) {
+  reduce(data, op, 0);
+  std::vector<double> buf(data.begin(), data.end());
+  bcast(buf, 0);
+  std::copy(buf.begin(), buf.end(), data.begin());
+}
+
+double Communicator::allreduce_scalar(double value, Op op) {
+  double buf[1] = {value};
+  allreduce(std::span<double>(buf, 1), op);
+  return buf[0];
+}
+
+// ------------------------------------------------------------------ run
+
+std::shared_ptr<Context> run_with_stats(
+    int size, const std::function<void(Communicator&)>& fn) {
+  auto ctx = std::make_shared<Context>(size);
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(size));
+  threads.reserve(static_cast<std::size_t>(size));
+  for (int r = 0; r < size; ++r) {
+    threads.emplace_back([r, &fn, ctx, &errors] {
+      try {
+        Communicator comm(r, ctx);
+        fn(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        // Wake peers blocked on messages this rank will never send.
+        ctx->abort_job();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Prefer the root cause: secondary CommErrors are just ranks woken by
+  // abort_job after a peer failed.
+  std::exception_ptr first;
+  for (const auto& err : errors) {
+    if (!err) continue;
+    if (!first) first = err;
+    try {
+      std::rethrow_exception(err);
+    } catch (const CommError&) {
+      continue;
+    } catch (...) {
+      first = err;
+      break;
+    }
+  }
+  if (first) std::rethrow_exception(first);
+  return ctx;
+}
+
+void run(int size, const std::function<void(Communicator&)>& fn) {
+  run_with_stats(size, fn);
+}
+
+}  // namespace parsvd::pmpi

@@ -1,0 +1,283 @@
+// pmpi — a small message-passing runtime with MPI semantics.
+//
+// The paper's library runs on mpi4py; no MPI implementation is available
+// in this environment, so pmpi provides the same programming model with
+// ranks executed as OS threads inside one process:
+//   * explicit point-to-point send/recv with (source, tag) matching and
+//     per-channel FIFO ordering — the MPI guarantee algorithms rely on;
+//   * the collectives PyParSVD uses (gather, bcast, scatter, allgather,
+//     allreduce, reduce, barrier) built on top of point-to-point, with a
+//     binomial-tree broadcast like production MPI libraries;
+//   * communication-volume accounting (bytes per rank and total), which
+//     feeds the weak-scaling cost model in the Figure 1(c) bench.
+//
+// Ranks do NOT share algorithm state: all inter-rank data flows through
+// byte-copied messages, so every communication an MPI run would perform
+// is performed (and counted) here too.  What this cannot reproduce is
+// network latency/bandwidth — the scaling bench reports measured time and
+// modeled communication volume separately for that reason.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "support/error.hpp"
+
+namespace parsvd::pmpi {
+
+/// Reduction operators for reduce/allreduce.
+enum class Op { Sum, Max, Min };
+
+/// Shared state of one communicator "job": mailboxes, barrier, counters.
+/// Owned jointly by every Communicator handle of the job.
+class Context {
+ public:
+  explicit Context(int size);
+
+  int size() const { return size_; }
+
+  /// Deliver a message into `dest`'s mailbox.
+  void post(int src, int dest, int tag, std::vector<std::byte> payload);
+
+  /// Block until a message with exactly (src, tag) is available for
+  /// `dest` and return its payload. Matching is FIFO per (src, tag).
+  std::vector<std::byte> wait(int dest, int src, int tag);
+
+  /// Two-phase dissemination barrier over the mailbox fabric is not
+  /// needed in-process; a generation-counted central barrier is exact.
+  void barrier();
+
+  /// Mark the job as failed and wake every blocked rank: any rank
+  /// currently (or subsequently) blocked in wait()/barrier() throws
+  /// CommError instead of deadlocking. Called by the run() harness when a
+  /// rank function exits with an exception.
+  void abort_job();
+  bool aborted() const { return aborted_.load(std::memory_order_acquire); }
+
+  /// Total payload bytes posted so far (all ranks).
+  std::uint64_t total_bytes() const;
+
+  /// Payload bytes posted by one rank.
+  std::uint64_t rank_bytes(int rank) const;
+
+  /// Total number of messages posted.
+  std::uint64_t total_messages() const;
+
+ private:
+  struct PendingMessage {
+    int src;
+    int tag;
+    std::vector<std::byte> payload;
+  };
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<PendingMessage> queue;
+  };
+
+  int size_;
+  std::atomic<bool> aborted_{false};
+  std::vector<std::unique_ptr<Mailbox>> boxes_;
+
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+  int barrier_waiting_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+
+  mutable std::mutex stats_mu_;
+  std::vector<std::uint64_t> bytes_by_rank_;
+  std::uint64_t messages_ = 0;
+};
+
+/// Per-rank handle: the library-facing API (mirrors the MPI calls used in
+/// PyParSVD Listings 3 and 4).
+class Communicator {
+ public:
+  Communicator(int rank, std::shared_ptr<Context> ctx);
+
+  int rank() const { return rank_; }
+  int size() const { return ctx_->size(); }
+  bool is_root() const { return rank_ == 0; }
+  Context& context() { return *ctx_; }
+  const Context& context() const { return *ctx_; }
+
+  // ------------------------------------------------------- point-to-point
+
+  /// Blocking-buffered send of trivially copyable elements.
+  template <typename T>
+  void send(std::span<const T> data, int dest, int tag = 0) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    check_peer(dest);
+    check_tag(tag);
+    std::vector<std::byte> payload(data.size_bytes());
+    std::memcpy(payload.data(), data.data(), data.size_bytes());
+    ctx_->post(rank_, dest, tag, std::move(payload));
+  }
+
+  /// Blocking receive; returns the full payload reinterpreted as T.
+  template <typename T>
+  std::vector<T> recv(int src, int tag = 0) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    check_peer(src);
+    check_tag(tag);
+    const std::vector<std::byte> payload = ctx_->wait(rank_, src, tag);
+    PARSVD_REQUIRE(payload.size() % sizeof(T) == 0,
+                   "received payload not a whole number of elements");
+    std::vector<T> out(payload.size() / sizeof(T));
+    std::memcpy(out.data(), payload.data(), payload.size());
+    return out;
+  }
+
+  /// Matrix-valued send/recv (shape travels with the data).
+  void send_matrix(const Matrix& m, int dest, int tag = 0);
+  Matrix recv_matrix(int src, int tag = 0);
+
+  // ----------------------------------------------------------- collectives
+  // Every collective must be called by all ranks of the communicator, in
+  // the same order — the MPI contract.
+
+  void barrier() { ctx_->barrier(); }
+
+  /// Binomial-tree broadcast; `data` is input at root, output elsewhere.
+  template <typename T>
+  void bcast(std::vector<T>& data, int root = 0);
+
+  void bcast_matrix(Matrix& m, int root = 0);
+  void bcast_double(double& value, int root = 0);
+  void bcast_index(Index& value, int root = 0);
+
+  /// Gather per-rank matrices at root, indexed by source rank. Non-root
+  /// ranks receive an empty vector.
+  std::vector<Matrix> gather_matrices(const Matrix& local, int root = 0);
+
+  /// Gather variable-length element buffers at root (concatenated in rank
+  /// order); the per-rank lengths are returned via `counts` at root.
+  template <typename T>
+  std::vector<T> gatherv(std::span<const T> local, int root,
+                         std::vector<std::size_t>* counts = nullptr);
+
+  /// Allgather of one scalar per rank → vector indexed by rank.
+  std::vector<double> allgather_double(double value);
+  std::vector<Index> allgather_index(Index value);
+
+  /// Scatter row-blocks of a matrix held at root: rank i receives
+  /// rows [offsets[i], offsets[i] + rows_per_rank[i]). Only root reads
+  /// `full`.
+  Matrix scatter_rows(const Matrix& full, std::span<const Index> rows_per_rank,
+                      int root = 0);
+
+  /// Elementwise reduction to root; `data` must be the same length on
+  /// every rank. Non-root contents are left untouched.
+  void reduce(std::span<double> data, Op op, int root = 0);
+
+  /// Reduction visible on every rank.
+  void allreduce(std::span<double> data, Op op);
+  double allreduce_scalar(double value, Op op);
+
+ private:
+  void check_peer(int peer) const {
+    PARSVD_REQUIRE(peer >= 0 && peer < size(), "peer rank out of range");
+  }
+  static void check_tag(int tag) {
+    PARSVD_REQUIRE(tag >= 0, "user tags must be non-negative");
+  }
+
+  // Internal tag space for collectives (kept clear of user tags by using
+  // values the public API rejects).
+  static constexpr int kTagBcast = -2;
+  static constexpr int kTagGather = -3;
+  static constexpr int kTagScatter = -4;
+  static constexpr int kTagReduce = -5;
+
+  void send_bytes(std::vector<std::byte> payload, int dest, int tag);
+  std::vector<std::byte> recv_bytes(int src, int tag);
+
+  int rank_;
+  std::shared_ptr<Context> ctx_;
+};
+
+template <typename T>
+void Communicator::bcast(std::vector<T>& data, int root) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  check_peer(root);
+  const int p = size();
+  if (p == 1) return;
+  // Rotate ranks so the tree is rooted at `root`.
+  const int vrank = (rank_ - root + p) % p;
+
+  // Classic binomial tree: walk masks upward until our set bit is found
+  // (that identifies our parent), then fan out to children at every mask
+  // below it.  Root walks past all masks and fans out to everyone's
+  // subtree heads.
+  int mask = 1;
+  while (mask < p) {
+    if (vrank & mask) {
+      const int parent = ((vrank ^ mask) + root) % p;
+      const std::vector<std::byte> payload = ctx_->wait(rank_, parent, kTagBcast);
+      data.resize(payload.size() / sizeof(T));
+      std::memcpy(data.data(), payload.data(), payload.size());
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vrank + mask < p) {
+      const int child = (vrank + mask + root) % p;
+      std::vector<std::byte> payload(data.size() * sizeof(T));
+      std::memcpy(payload.data(), data.data(), payload.size());
+      ctx_->post(rank_, child, kTagBcast, std::move(payload));
+    }
+    mask >>= 1;
+  }
+}
+
+template <typename T>
+std::vector<T> Communicator::gatherv(std::span<const T> local, int root,
+                                     std::vector<std::size_t>* counts) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  check_peer(root);
+  if (rank_ != root) {
+    std::vector<std::byte> payload(local.size_bytes());
+    std::memcpy(payload.data(), local.data(), local.size_bytes());
+    ctx_->post(rank_, root, kTagGather, std::move(payload));
+    return {};
+  }
+  std::vector<T> out;
+  if (counts) counts->assign(static_cast<std::size_t>(size()), 0);
+  for (int src = 0; src < size(); ++src) {
+    std::vector<T> chunk;
+    if (src == root) {
+      chunk.assign(local.begin(), local.end());
+    } else {
+      const std::vector<std::byte> payload = ctx_->wait(rank_, src, kTagGather);
+      chunk.resize(payload.size() / sizeof(T));
+      std::memcpy(chunk.data(), payload.data(), payload.size());
+    }
+    if (counts) (*counts)[static_cast<std::size_t>(src)] = chunk.size();
+    out.insert(out.end(), chunk.begin(), chunk.end());
+  }
+  return out;
+}
+
+/// Launch `size` ranks (threads), each running fn(comm). Joins all ranks;
+/// the first rank exception (by rank order) is rethrown in the caller.
+void run(int size, const std::function<void(Communicator&)>& fn);
+
+/// As `run`, but also returns the context for post-mortem statistics
+/// (communication volume, message counts).
+std::shared_ptr<Context> run_with_stats(
+    int size, const std::function<void(Communicator&)>& fn);
+
+}  // namespace parsvd::pmpi

@@ -1,0 +1,95 @@
+#include "post/export.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+namespace parsvd::post {
+namespace {
+
+std::pair<double, double> field_range(const Vector& field) {
+  double lo = field[0], hi = field[0];
+  for (Index i = 0; i < field.size(); ++i) {
+    lo = std::min(lo, field[i]);
+    hi = std::max(hi, field[i]);
+  }
+  if (hi <= lo) hi = lo + 1.0;
+  return {lo, hi};
+}
+
+}  // namespace
+
+void write_mode_pgm(const std::string& path, const Vector& field,
+                    Index n_lat, Index n_lon) {
+  PARSVD_REQUIRE(field.size() == n_lat * n_lon, "field size mismatch");
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw IoError("cannot open for writing: " + path);
+  out << "P5\n" << n_lon << ' ' << n_lat << "\n255\n";
+  const auto [lo, hi] = field_range(field);
+  const double scale = 255.0 / (hi - lo);
+  for (Index la = 0; la < n_lat; ++la) {
+    for (Index lo_idx = 0; lo_idx < n_lon; ++lo_idx) {
+      const double v = field[la * n_lon + lo_idx];
+      const int px = static_cast<int>(std::lround((v - lo) * scale));
+      const unsigned char byte =
+          static_cast<unsigned char>(std::clamp(px, 0, 255));
+      out.write(reinterpret_cast<const char*>(&byte), 1);
+    }
+  }
+  if (!out) throw IoError("write failed: " + path);
+}
+
+std::string ascii_heatmap(const Vector& field, Index n_lat, Index n_lon,
+                          Index max_rows, Index max_cols) {
+  PARSVD_REQUIRE(field.size() == n_lat * n_lon, "field size mismatch");
+  PARSVD_REQUIRE(max_rows > 0 && max_cols > 0, "output size must be positive");
+  static constexpr char kRamp[] = " .:-=+*#%@";
+  constexpr int kLevels = static_cast<int>(sizeof(kRamp)) - 2;
+
+  const Index rows = std::min(n_lat, max_rows);
+  const Index cols = std::min(n_lon, max_cols);
+  const auto [lo, hi] = field_range(field);
+  const double scale = static_cast<double>(kLevels) / (hi - lo);
+
+  std::string out;
+  out.reserve(static_cast<std::size_t>(rows * (cols + 1)));
+  for (Index r = 0; r < rows; ++r) {
+    const Index la = r * n_lat / rows;
+    for (Index c = 0; c < cols; ++c) {
+      const Index lon = c * n_lon / cols;
+      const double v = field[la * n_lon + lon];
+      const int level =
+          std::clamp(static_cast<int>((v - lo) * scale), 0, kLevels);
+      out += kRamp[level];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string ascii_plot(const Vector& signal, Index height, Index width) {
+  PARSVD_REQUIRE(signal.size() > 0, "empty signal");
+  PARSVD_REQUIRE(height >= 2 && width >= 2, "plot size too small");
+  const auto [lo, hi] = field_range(signal);
+  const double scale = static_cast<double>(height - 1) / (hi - lo);
+
+  std::vector<std::string> canvas(static_cast<std::size_t>(height),
+                                  std::string(static_cast<std::size_t>(width), ' '));
+  for (Index c = 0; c < width; ++c) {
+    const Index i = c * (signal.size() - 1) / (width - 1);
+    const int row =
+        std::clamp(static_cast<int>(std::lround((signal[i] - lo) * scale)), 0,
+                   static_cast<int>(height - 1));
+    // Row 0 of the canvas is the top.
+    canvas[static_cast<std::size_t>(height - 1 - row)]
+          [static_cast<std::size_t>(c)] = '*';
+  }
+  std::string out;
+  for (const auto& line : canvas) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace parsvd::post

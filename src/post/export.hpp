@@ -1,0 +1,27 @@
+// Visualization exporters: PGM heatmaps of 2-D modes (the Fig. 2
+// artifact) and terminal-friendly renderings for bench output.
+#pragma once
+
+#include <string>
+
+#include "linalg/matrix.hpp"
+
+namespace parsvd::post {
+
+/// Write a grayscale PGM image of a lat-lon field stored row-major as a
+/// flat vector of length n_lat * n_lon (lat-major, as Era5Synthetic lays
+/// it out). Values are linearly mapped [min, max] → [0, 255].
+void write_mode_pgm(const std::string& path, const Vector& field,
+                    Index n_lat, Index n_lon);
+
+/// ASCII heatmap of the same field, downsampled to at most
+/// max_rows x max_cols character cells (shade ramp " .:-=+*#%@").
+std::string ascii_heatmap(const Vector& field, Index n_lat, Index n_lon,
+                          Index max_rows = 24, Index max_cols = 72);
+
+/// ASCII line plot of a 1-D signal (used for Burgers mode shapes in the
+/// bench output): `height` text rows, signal resampled to `width` cols.
+std::string ascii_plot(const Vector& signal, Index height = 16,
+                       Index width = 72);
+
+}  // namespace parsvd::post

@@ -1,0 +1,133 @@
+#include "post/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/blas.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/svd.hpp"
+
+namespace parsvd::post {
+
+Matrix align_signs(const Matrix& modes, const Matrix& reference) {
+  PARSVD_REQUIRE(modes.rows() == reference.rows(),
+                 "align_signs: row count mismatch");
+  Matrix out = modes;
+  const Index k = std::min(out.cols(), reference.cols());
+  for (Index j = 0; j < k; ++j) {
+    if (dot(out.col_span(j), reference.col_span(j)) < 0.0) {
+      scal(-1.0, out.col_span(j));
+    }
+  }
+  return out;
+}
+
+Vector pointwise_mode_error(const Matrix& modes, const Matrix& reference,
+                            Index mode) {
+  PARSVD_REQUIRE(mode >= 0 && mode < modes.cols() && mode < reference.cols(),
+                 "mode index out of range");
+  const Matrix aligned = align_signs(modes, reference);
+  Vector err(aligned.rows());
+  const double* a = aligned.col_data(mode);
+  const double* r = reference.col_data(mode);
+  for (Index i = 0; i < aligned.rows(); ++i) err[i] = std::fabs(a[i] - r[i]);
+  return err;
+}
+
+Vector mode_errors_l2(const Matrix& modes, const Matrix& reference) {
+  const Matrix aligned = align_signs(modes, reference);
+  const Index k = std::min(aligned.cols(), reference.cols());
+  Vector err(k);
+  for (Index j = 0; j < k; ++j) {
+    double s = 0.0;
+    const double* a = aligned.col_data(j);
+    const double* r = reference.col_data(j);
+    for (Index i = 0; i < aligned.rows(); ++i) {
+      const double d = a[i] - r[i];
+      s += d * d;
+    }
+    err[j] = std::sqrt(s);
+  }
+  return err;
+}
+
+Vector mode_errors_max(const Matrix& modes, const Matrix& reference) {
+  const Matrix aligned = align_signs(modes, reference);
+  const Index k = std::min(aligned.cols(), reference.cols());
+  Vector err(k);
+  for (Index j = 0; j < k; ++j) {
+    double m = 0.0;
+    const double* a = aligned.col_data(j);
+    const double* r = reference.col_data(j);
+    for (Index i = 0; i < aligned.rows(); ++i) {
+      m = std::max(m, std::fabs(a[i] - r[i]));
+    }
+    err[j] = m;
+  }
+  return err;
+}
+
+Vector principal_angles(const Matrix& a, const Matrix& b) {
+  PARSVD_REQUIRE(a.rows() == b.rows(), "principal_angles: row mismatch");
+  Matrix qa = a;
+  Matrix qb = b;
+  orthonormalize_mgs2(qa);
+  orthonormalize_mgs2(qb);
+  const Matrix c = matmul(qa, qb, Trans::Yes, Trans::No);
+  Vector cosines = singular_values(c);
+  Vector angles(cosines.size());
+  // Singular values descend, so angles ascend.
+  for (Index i = 0; i < cosines.size(); ++i) {
+    angles[i] = std::acos(std::clamp(cosines[i], -1.0, 1.0));
+  }
+  return angles;
+}
+
+double max_principal_angle(const Matrix& a, const Matrix& b) {
+  const Vector angles = principal_angles(a, b);
+  return angles.size() > 0 ? angles[angles.size() - 1] : 0.0;
+}
+
+Vector spectrum_relative_error(const Vector& reference, const Vector& estimate) {
+  const Index k = std::min(reference.size(), estimate.size());
+  Vector err(k);
+  for (Index i = 0; i < k; ++i) {
+    const double denom = std::max(std::fabs(reference[i]), 1e-300);
+    err[i] = std::fabs(reference[i] - estimate[i]) / denom;
+  }
+  return err;
+}
+
+double relative_reconstruction_error(const Matrix& a, const Matrix& u,
+                                     const Vector& s, const Matrix& v) {
+  PARSVD_REQUIRE(u.cols() == s.size() && v.cols() == s.size(),
+                 "factor width mismatch");
+  Matrix us = u;
+  for (Index j = 0; j < us.cols(); ++j) scal(s[j], us.col_span(j));
+  const Matrix rec = matmul(us, v, Trans::No, Trans::Yes);
+  const double denom = std::max(a.norm_fro(), 1e-300);
+  return (a - rec).norm_fro() / denom;
+}
+
+double relative_projection_error(const Matrix& a, const Matrix& u) {
+  PARSVD_REQUIRE(a.rows() == u.rows(), "projection: row mismatch");
+  const Matrix coeff = matmul(u, a, Trans::Yes, Trans::No);
+  const Matrix proj = matmul(u, coeff);
+  const double denom = std::max(a.norm_fro(), 1e-300);
+  return (a - proj).norm_fro() / denom;
+}
+
+double mode_cosine(const Matrix& modes, Index mode, const Matrix& reference,
+                   Index ref_mode) {
+  PARSVD_REQUIRE(modes.rows() == reference.rows(), "mode_cosine: row mismatch");
+  PARSVD_REQUIRE(mode >= 0 && mode < modes.cols(), "mode index out of range");
+  PARSVD_REQUIRE(ref_mode >= 0 && ref_mode < reference.cols(),
+                 "reference mode index out of range");
+  const double num =
+      std::fabs(dot(modes.col_span(mode), reference.col_span(ref_mode)));
+  const double denom = nrm2(modes.col_span(mode)) *
+                       nrm2(reference.col_span(ref_mode));
+  return denom > 0.0 ? num / denom : 0.0;
+}
+
+}  // namespace parsvd::post

@@ -1,0 +1,53 @@
+// Post-processing metrics for comparing SVD results (the paper's
+// `postprocessing` module, §4): sign alignment, per-mode errors, subspace
+// angles, spectrum errors and reconstruction quality. These drive both
+// the test-suite assertions and the Figure 1(a)/(b) error curves.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace parsvd::post {
+
+/// Flip the sign of each column of `modes` to best match `reference`
+/// (sign of the inner product). Singular vectors are defined up to sign;
+/// every comparison below aligns first.
+Matrix align_signs(const Matrix& modes, const Matrix& reference);
+
+/// Per-mode absolute error vector |u_j - û_j| after sign alignment, for
+/// one mode column: used to reproduce the paper's Fig 1(a)/(b) error
+/// curves point-by-point.
+Vector pointwise_mode_error(const Matrix& modes, const Matrix& reference,
+                            Index mode);
+
+/// L2 error per mode after sign alignment (length = min mode count).
+Vector mode_errors_l2(const Matrix& modes, const Matrix& reference);
+
+/// max |.| error per mode after sign alignment.
+Vector mode_errors_max(const Matrix& modes, const Matrix& reference);
+
+/// Principal angles (radians, ascending) between the column spaces —
+/// computed from the singular values of Q_aᵀ Q_b after orthonormalizing
+/// both. Robust to mode rotation within degenerate clusters, unlike
+/// column-wise errors.
+Vector principal_angles(const Matrix& a, const Matrix& b);
+
+/// Largest principal angle (the subspace distance that matters).
+double max_principal_angle(const Matrix& a, const Matrix& b);
+
+/// Relative error per singular value: |s - ŝ| / max(s, tiny).
+Vector spectrum_relative_error(const Vector& reference, const Vector& estimate);
+
+/// ||A - U diag(s) Vᵀ||_F / ||A||_F.
+double relative_reconstruction_error(const Matrix& a, const Matrix& u,
+                                     const Vector& s, const Matrix& v);
+
+/// ||A - U Uᵀ A||_F / ||A||_F — projection error when only left modes
+/// are available (streaming results carry U and s but not V).
+double relative_projection_error(const Matrix& a, const Matrix& u);
+
+/// Absolute cosine similarity between a computed mode and a reference
+/// mode (1 = identical up to sign).
+double mode_cosine(const Matrix& modes, Index mode, const Matrix& reference,
+                   Index ref_mode);
+
+}  // namespace parsvd::post

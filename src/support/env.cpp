@@ -1,0 +1,49 @@
+#include "support/env.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace parsvd::env {
+
+std::optional<std::string> get(const std::string& name) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr) return std::nullopt;
+  return std::string(v);
+}
+
+std::int64_t get_int(const std::string& name, std::int64_t fallback) {
+  const auto v = get(name);
+  if (!v) return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v->c_str(), &end, 10);
+  if (end == v->c_str() || *end != '\0') return fallback;
+  return static_cast<std::int64_t>(parsed);
+}
+
+double get_double(const std::string& name, double fallback) {
+  const auto v = get(name);
+  if (!v) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v->c_str(), &end);
+  if (end == v->c_str() || *end != '\0') return fallback;
+  return parsed;
+}
+
+bool get_bool(const std::string& name, bool fallback) {
+  const auto v = get(name);
+  if (!v) return fallback;
+  std::string lower = *v;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "1" || lower == "true" || lower == "yes" || lower == "on") return true;
+  if (lower == "0" || lower == "false" || lower == "no" || lower == "off") return false;
+  return fallback;
+}
+
+std::string get_string(const std::string& name, const std::string& fallback) {
+  const auto v = get(name);
+  return v ? *v : fallback;
+}
+
+}  // namespace parsvd::env

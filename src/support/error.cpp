@@ -1,0 +1,16 @@
+#include "support/error.hpp"
+
+#include <sstream>
+
+namespace parsvd::detail {
+
+void throw_failed_check(const char* kind, const char* expr,
+                        const std::string& msg, std::source_location loc) {
+  std::ostringstream os;
+  os << loc.file_name() << ':' << loc.line() << " [" << kind << " failed] "
+     << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace parsvd::detail

@@ -1,0 +1,62 @@
+#include "support/log.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace parsvd::log {
+namespace {
+
+std::atomic<Level>& level_storage() {
+  static std::atomic<Level> lvl = [] {
+    if (const char* env = std::getenv("PARSVD_LOG_LEVEL")) {
+      return parse_level(env);
+    }
+    return Level::Warn;
+  }();
+  return lvl;
+}
+
+const char* level_name(Level lvl) {
+  switch (lvl) {
+    case Level::Trace: return "TRACE";
+    case Level::Debug: return "DEBUG";
+    case Level::Info:  return "INFO ";
+    case Level::Warn:  return "WARN ";
+    case Level::Error: return "ERROR";
+    case Level::Off:   return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+Level level() { return level_storage().load(std::memory_order_relaxed); }
+
+void set_level(Level lvl) {
+  level_storage().store(lvl, std::memory_order_relaxed);
+}
+
+Level parse_level(std::string_view text) {
+  std::string lower(text);
+  for (char& c : lower) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (lower == "trace") return Level::Trace;
+  if (lower == "debug") return Level::Debug;
+  if (lower == "info") return Level::Info;
+  if (lower == "warn" || lower == "warning") return Level::Warn;
+  if (lower == "error") return Level::Error;
+  if (lower == "off" || lower == "none") return Level::Off;
+  return Level::Warn;
+}
+
+void write(Level lvl, std::string_view msg) {
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  std::fprintf(stderr, "[parsvd %s] %.*s\n", level_name(lvl),
+               static_cast<int>(msg.size()), msg.data());
+  std::fflush(stderr);
+}
+
+}  // namespace parsvd::log

@@ -1,0 +1,48 @@
+// Minimal leveled logger.
+//
+// Intended for library diagnostics, not high-frequency tracing: each call
+// takes a global mutex so interleaved multi-rank output stays line-atomic.
+// The level defaults to Warn and can be raised via PARSVD_LOG_LEVEL
+// (trace|debug|info|warn|error|off) or set_level().
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace parsvd::log {
+
+enum class Level : int { Trace = 0, Debug, Info, Warn, Error, Off };
+
+/// Current threshold; messages below it are dropped.
+Level level();
+void set_level(Level lvl);
+
+/// Parse "info", "debug", ... (case-insensitive). Unknown → Warn.
+Level parse_level(std::string_view text);
+
+/// Emit one line (thread-safe, flushes stderr).
+void write(Level lvl, std::string_view msg);
+
+namespace detail {
+template <typename... Args>
+void emit(Level lvl, Args&&... args) {
+  if (lvl < level()) return;
+  std::ostringstream os;
+  (os << ... << args);
+  write(lvl, os.str());
+}
+}  // namespace detail
+
+template <typename... Args>
+void trace(Args&&... args) { detail::emit(Level::Trace, std::forward<Args>(args)...); }
+template <typename... Args>
+void debug(Args&&... args) { detail::emit(Level::Debug, std::forward<Args>(args)...); }
+template <typename... Args>
+void info(Args&&... args) { detail::emit(Level::Info, std::forward<Args>(args)...); }
+template <typename... Args>
+void warn(Args&&... args) { detail::emit(Level::Warn, std::forward<Args>(args)...); }
+template <typename... Args>
+void error(Args&&... args) { detail::emit(Level::Error, std::forward<Args>(args)...); }
+
+}  // namespace parsvd::log

@@ -1,0 +1,96 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace parsvd {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : state_) s = splitmix64(sm);
+  // All-zero state is the one invalid configuration for xoshiro.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) {
+    state_[0] = 0x1ULL;
+  }
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits → double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  PARSVD_REQUIRE(n > 0, "uniform_index requires n > 0");
+  // Rejection sampling removes modulo bias.
+  const std::uint64_t threshold = (~0ULL - n + 1) % n;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::gaussian() {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_ = v * factor;
+  has_spare_ = true;
+  return u * factor;
+}
+
+double Rng::gaussian(double mean, double stddev) {
+  return mean + stddev * gaussian();
+}
+
+void Rng::fill_gaussian(double* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = gaussian();
+}
+
+Rng Rng::split(std::uint64_t stream_id) const {
+  // Mix the child id with the parent state through SplitMix64 so the
+  // derived stream is decorrelated even for adjacent stream_ids.
+  std::uint64_t mix = state_[0] ^ (0x9e3779b97f4a7c15ULL * (stream_id + 1));
+  return Rng(splitmix64(mix));
+}
+
+}  // namespace parsvd

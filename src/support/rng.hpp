@@ -1,0 +1,58 @@
+// Deterministic random-number generation.
+//
+// The randomized SVD draws Gaussian sketch matrices; reproducibility across
+// runs and across rank counts matters for testing, so we use our own
+// xoshiro256** generator (public-domain algorithm by Blackman & Vigna)
+// seeded through SplitMix64.  Rank-parallel code derives independent
+// streams with Rng::split(stream_id) instead of sharing one generator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace parsvd {
+
+/// xoshiro256** pseudo-random generator with Gaussian sampling helpers.
+class Rng {
+ public:
+  /// Seeds the state via SplitMix64 expansion of `seed`.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Standard normal via the Marsaglia polar method (cached spare).
+  double gaussian();
+
+  /// Normal with the given mean and standard deviation.
+  double gaussian(double mean, double stddev);
+
+  /// Fill `out` with i.i.d. standard normals.
+  void fill_gaussian(double* out, std::size_t n);
+
+  /// Deterministically derive an independent stream (e.g. one per rank).
+  /// split(a) and split(b) with a != b produce decorrelated generators.
+  Rng split(std::uint64_t stream_id) const;
+
+  /// Satisfy UniformRandomBitGenerator so <algorithm> shuffles work.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next_u64(); }
+
+ private:
+  std::uint64_t state_[4];
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace parsvd

@@ -1,0 +1,136 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "support/error.hpp"
+
+namespace parsvd {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  // The calling thread participates in parallel_for, so spawn one fewer
+  // worker than the requested concurrency.
+  const std::size_t workers = threads > 1 ? threads - 1 : 0;
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    std::exception_ptr err;
+    try {
+      task.body(task.begin, task.end);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(task.group->mu);
+      if (err && !task.group->error) task.group->error = err;
+      if (--task.group->pending == 0) task.group->cv.notify_all();
+    }
+  }
+}
+
+bool ThreadPool::run_one() {
+  Task task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  std::exception_ptr err;
+  try {
+    task.body(task.begin, task.end);
+  } catch (...) {
+    err = std::current_exception();
+  }
+  {
+    std::lock_guard<std::mutex> lock(task.group->mu);
+    if (err && !task.group->error) task.group->error = err;
+    if (--task.group->pending == 0) task.group->cv.notify_all();
+  }
+  return true;
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body_range,
+    std::size_t grain) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t concurrency = workers_.size() + 1;
+  if (grain == 0) {
+    grain = std::max<std::size_t>(1, n / (4 * concurrency));
+  }
+  const std::size_t chunks = (n + grain - 1) / grain;
+  if (chunks <= 1 || concurrency == 1) {
+    body_range(begin, end);
+    return;
+  }
+
+  Group group;
+  group.pending = chunks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t lo = begin + c * grain;
+      const std::size_t hi = std::min(end, lo + grain);
+      queue_.push_back(Task{body_range, lo, hi, &group});
+    }
+  }
+  cv_.notify_all();
+
+  // Help drain the queue instead of blocking immediately; this keeps the
+  // calling thread productive and avoids idle cores for small pools.
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(group.mu);
+      if (group.pending == 0) break;
+    }
+    if (!run_one()) {
+      std::unique_lock<std::mutex> lock(group.mu);
+      group.cv.wait(lock, [&group] { return group.pending == 0; });
+      break;
+    }
+  }
+  if (group.error) std::rethrow_exception(group.error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("PARSVD_NUM_THREADS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v > 0) return static_cast<std::size_t>(v);
+    }
+    return std::size_t{0};
+  }());
+  return pool;
+}
+
+}  // namespace parsvd

@@ -1,0 +1,71 @@
+#include "workloads/batch_source.hpp"
+
+#include <algorithm>
+
+namespace parsvd::workloads {
+
+MatrixBatchSource::MatrixBatchSource(Matrix data)
+    : data_(std::move(data)), row0_(0), nrows_(data_.rows()) {}
+
+MatrixBatchSource::MatrixBatchSource(Matrix data, Index row0, Index nrows)
+    : data_(std::move(data)), row0_(row0), nrows_(nrows) {
+  PARSVD_REQUIRE(row0 >= 0 && nrows > 0 && row0 + nrows <= data_.rows(),
+                 "row block out of range");
+}
+
+Matrix MatrixBatchSource::next_batch(Index max_cols) {
+  PARSVD_REQUIRE(max_cols > 0, "batch width must be positive");
+  PARSVD_REQUIRE(!exhausted(), "source exhausted");
+  const Index take = std::min(max_cols, data_.cols() - cursor_);
+  Matrix batch = data_.block(row0_, cursor_, nrows_, take);
+  cursor_ += take;
+  return batch;
+}
+
+StoreBatchSource::StoreBatchSource(const std::string& path, Index row0,
+                                   Index nrows)
+    : reader_(path), row0_(row0), nrows_(nrows) {
+  PARSVD_REQUIRE(row0 >= 0 && nrows > 0 && row0 + nrows <= reader_.rows(),
+                 "row block out of range");
+}
+
+Matrix StoreBatchSource::next_batch(Index max_cols) {
+  PARSVD_REQUIRE(max_cols > 0, "batch width must be positive");
+  PARSVD_REQUIRE(!exhausted(), "source exhausted");
+  const Index take = std::min(max_cols, reader_.snapshots() - cursor_);
+  Matrix batch = reader_.read_rows(row0_, nrows_, cursor_, take);
+  cursor_ += take;
+  return batch;
+}
+
+GeneratorBatchSource::GeneratorBatchSource(Index rows, Index total,
+                                           Generator gen)
+    : rows_(rows), total_(total), gen_(std::move(gen)) {
+  PARSVD_REQUIRE(rows > 0 && total > 0, "empty generator source");
+  PARSVD_REQUIRE(gen_ != nullptr, "null generator");
+}
+
+Matrix GeneratorBatchSource::next_batch(Index max_cols) {
+  PARSVD_REQUIRE(max_cols > 0, "batch width must be positive");
+  PARSVD_REQUIRE(!exhausted(), "source exhausted");
+  const Index take = std::min(max_cols, total_ - cursor_);
+  Matrix batch = gen_(cursor_, take);
+  PARSVD_REQUIRE(batch.rows() == rows_ && batch.cols() == take,
+                 "generator returned a wrong-shaped batch");
+  cursor_ += take;
+  return batch;
+}
+
+RowPartition partition_rows(Index total_rows, int size, int rank) {
+  PARSVD_REQUIRE(size >= 1, "partition size must be >= 1");
+  PARSVD_REQUIRE(rank >= 0 && rank < size, "rank out of range");
+  PARSVD_REQUIRE(total_rows >= size, "fewer rows than ranks");
+  const Index base = total_rows / size;
+  const Index extra = total_rows % size;
+  const Index count = base + (rank < extra ? 1 : 0);
+  const Index offset = static_cast<Index>(rank) * base +
+                       std::min<Index>(rank, extra);
+  return {offset, count};
+}
+
+}  // namespace parsvd::workloads

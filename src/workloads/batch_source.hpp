@@ -1,0 +1,103 @@
+// Streaming batch sources: the producer side of the streaming SVD.
+//
+// The streaming classes consume data batch-by-batch; a BatchSource
+// abstracts where batches come from — an in-memory matrix (tests,
+// Burgers), an on-disk SnapshotStore (the ERA5 pipeline, where each rank
+// pulls only its row block per batch: out-of-core, O(M_i · B) memory),
+// or a generator called on demand.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "io/snapshot_store.hpp"
+#include "linalg/matrix.hpp"
+
+namespace parsvd::workloads {
+
+class BatchSource {
+ public:
+  virtual ~BatchSource() = default;
+
+  /// Row count of every batch this source yields.
+  virtual Index rows() const = 0;
+
+  /// Total snapshots this source will yield across all batches.
+  virtual Index total_snapshots() const = 0;
+
+  /// Snapshots yielded so far.
+  virtual Index position() const = 0;
+
+  bool exhausted() const { return position() >= total_snapshots(); }
+
+  /// Next batch of up to `max_cols` snapshots (fewer at the tail).
+  /// Requires !exhausted().
+  virtual Matrix next_batch(Index max_cols) = 0;
+};
+
+/// Serves column-batches of an in-memory matrix, optionally restricted to
+/// a row block (the per-rank view of a shared dataset).
+class MatrixBatchSource final : public BatchSource {
+ public:
+  explicit MatrixBatchSource(Matrix data);
+  MatrixBatchSource(Matrix data, Index row0, Index nrows);
+
+  Index rows() const override { return nrows_; }
+  Index total_snapshots() const override { return data_.cols(); }
+  Index position() const override { return cursor_; }
+  Matrix next_batch(Index max_cols) override;
+
+ private:
+  Matrix data_;
+  Index row0_;
+  Index nrows_;
+  Index cursor_ = 0;
+};
+
+/// Streams a row block of an on-disk SnapshotStore.
+class StoreBatchSource final : public BatchSource {
+ public:
+  /// Reads rows [row0, row0 + nrows) of every snapshot in `path`.
+  StoreBatchSource(const std::string& path, Index row0, Index nrows);
+
+  Index rows() const override { return nrows_; }
+  Index total_snapshots() const override { return reader_.snapshots(); }
+  Index position() const override { return cursor_; }
+  Matrix next_batch(Index max_cols) override;
+
+ private:
+  io::SnapshotReader reader_;
+  Index row0_;
+  Index nrows_;
+  Index cursor_ = 0;
+};
+
+/// Adapts a generator function block(col0, ncols) → rows x ncols matrix.
+class GeneratorBatchSource final : public BatchSource {
+ public:
+  using Generator = std::function<Matrix(Index col0, Index ncols)>;
+
+  GeneratorBatchSource(Index rows, Index total, Generator gen);
+
+  Index rows() const override { return rows_; }
+  Index total_snapshots() const override { return total_; }
+  Index position() const override { return cursor_; }
+  Matrix next_batch(Index max_cols) override;
+
+ private:
+  Index rows_;
+  Index total_;
+  Generator gen_;
+  Index cursor_ = 0;
+};
+
+/// Even row partition of `total_rows` over `size` ranks: rank r gets
+/// rows [offset, offset + count). The remainder spreads over the first
+/// ranks, matching the decomposition used throughout the benches.
+struct RowPartition {
+  Index offset;
+  Index count;
+};
+RowPartition partition_rows(Index total_rows, int size, int rank);
+
+}  // namespace parsvd::workloads

@@ -1,0 +1,76 @@
+#include "workloads/burgers.hpp"
+
+#include <cmath>
+
+namespace parsvd::workloads {
+
+void BurgersConfig::validate() const {
+  PARSVD_REQUIRE(grid_points >= 2, "need at least 2 grid points");
+  PARSVD_REQUIRE(snapshots >= 1, "need at least 1 snapshot");
+  PARSVD_REQUIRE(length > 0.0, "domain length must be positive");
+  PARSVD_REQUIRE(t_final > 0.0, "final time must be positive");
+  PARSVD_REQUIRE(reynolds > 0.0, "Reynolds number must be positive");
+}
+
+Burgers::Burgers(const BurgersConfig& config) : config_(config) {
+  config_.validate();
+  t0_ = std::exp(config_.reynolds / 8.0);
+}
+
+double Burgers::solution(double x, double t) const {
+  // Eq. 13. The exponential can overflow for large Re x²/(4t+4); guard by
+  // noting the solution tends to 0 there.
+  const double tp1 = t + 1.0;
+  const double expo = config_.reynolds * x * x / (4.0 * tp1);
+  if (expo > 600.0) return 0.0;
+  const double denom = 1.0 + std::sqrt(tp1 / t0_) * std::exp(expo);
+  return (x / tp1) / denom;
+}
+
+Vector Burgers::grid() const {
+  Vector x(config_.grid_points);
+  const double dx = config_.length / static_cast<double>(config_.grid_points - 1);
+  for (Index i = 0; i < config_.grid_points; ++i) {
+    x[i] = static_cast<double>(i) * dx;
+  }
+  return x;
+}
+
+double Burgers::time_at(Index j) const {
+  PARSVD_REQUIRE(j >= 0 && j < config_.snapshots, "snapshot index out of range");
+  return static_cast<double>(j + 1) * config_.t_final /
+         static_cast<double>(config_.snapshots);
+}
+
+Vector Burgers::snapshot(double t) const {
+  Vector u(config_.grid_points);
+  const double dx = config_.length / static_cast<double>(config_.grid_points - 1);
+  for (Index i = 0; i < config_.grid_points; ++i) {
+    u[i] = solution(static_cast<double>(i) * dx, t);
+  }
+  return u;
+}
+
+Matrix Burgers::snapshot_matrix() const {
+  return snapshot_block(0, config_.grid_points, 0, config_.snapshots);
+}
+
+Matrix Burgers::snapshot_block(Index row0, Index nrows, Index col0,
+                               Index ncols) const {
+  PARSVD_REQUIRE(row0 >= 0 && nrows > 0 && row0 + nrows <= config_.grid_points,
+                 "row block out of range");
+  PARSVD_REQUIRE(col0 >= 0 && ncols > 0 && col0 + ncols <= config_.snapshots,
+                 "snapshot block out of range");
+  Matrix a(nrows, ncols);
+  const double dx = config_.length / static_cast<double>(config_.grid_points - 1);
+  for (Index j = 0; j < ncols; ++j) {
+    const double t = time_at(col0 + j);
+    double* col = a.col_data(j);
+    for (Index i = 0; i < nrows; ++i) {
+      col[i] = solution(static_cast<double>(row0 + i) * dx, t);
+    }
+  }
+  return a;
+}
+
+}  // namespace parsvd::workloads

@@ -1,0 +1,60 @@
+// Viscous Burgers equation workload (paper §4.3, Eq. 12-13).
+//
+// The paper's first experiment factors a snapshot matrix built from the
+// closed-form solution
+//
+//   u(x,t) = (x / (t+1)) / (1 + sqrt((t+1)/t0) · exp(Re x² / (4t+4)))
+//
+// with t0 = exp(Re/8), on x ∈ [0, 1], t ∈ (0, 2], Re = 1000, 16384 grid
+// points and 800 snapshots.  Because the solution is analytic we generate
+// snapshots directly (exactly as the authors did) — no PDE solver in the
+// loop — and tests verify the generator by checking the PDE residual
+// u_t + u u_x - ν u_xx ≈ 0 with finite differences.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace parsvd::workloads {
+
+struct BurgersConfig {
+  Index grid_points = 16384;
+  Index snapshots = 800;
+  double length = 1.0;     ///< domain size L
+  double t_final = 2.0;    ///< final time
+  double reynolds = 1000;  ///< Re = 1/ν
+
+  void validate() const;
+};
+
+class Burgers {
+ public:
+  explicit Burgers(const BurgersConfig& config = {});
+
+  const BurgersConfig& config() const { return config_; }
+
+  /// Closed-form solution value (Eq. 13).
+  double solution(double x, double t) const;
+
+  /// Grid coordinates x_i = i · L / (M - 1).
+  Vector grid() const;
+
+  /// Snapshot time t_j = (j + 1) · t_final / N, j in [0, N).
+  double time_at(Index j) const;
+
+  /// One full-grid snapshot at time t.
+  Vector snapshot(double t) const;
+
+  /// Full snapshot matrix (grid_points x snapshots).
+  Matrix snapshot_matrix() const;
+
+  /// Row-block of the snapshot matrix: rows [row0, row0 + nrows) of all
+  /// snapshot columns [col0, col0 + ncols). Generates only what a rank
+  /// needs — the distributed benches never materialize the global matrix.
+  Matrix snapshot_block(Index row0, Index nrows, Index col0, Index ncols) const;
+
+ private:
+  BurgersConfig config_;
+  double t0_;  // exp(Re / 8)
+};
+
+}  // namespace parsvd::workloads

@@ -1,0 +1,232 @@
+#include "workloads/era5_synthetic.hpp"
+
+#include <cmath>
+
+#include "linalg/blas.hpp"
+#include "linalg/qr.hpp"
+
+namespace parsvd::workloads {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Stateless mixing so noise is a pure function of (cell, time): reading
+/// any hyperslab of the dataset yields identical values, exactly like a
+/// file on disk would.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double gaussian_at(std::uint64_t seed) {
+  // Two mixed uniforms through Box-Muller; statelessness beats the polar
+  // method's rejection loop here.
+  const std::uint64_t a = mix64(seed);
+  const std::uint64_t b = mix64(seed ^ 0xda3e39cb94b95bdbULL);
+  const double u1 =
+      (static_cast<double>(a >> 11) + 0.5) * 0x1.0p-53;  // (0, 1)
+  const double u2 = static_cast<double>(b >> 11) * 0x1.0p-53;  // [0, 1)
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * kPi * u2);
+}
+
+}  // namespace
+
+void Era5Config::validate() const {
+  PARSVD_REQUIRE(n_lon >= 4 && n_lat >= 4, "grid too small");
+  PARSVD_REQUIRE(snapshots >= 2, "need at least 2 snapshots");
+  PARSVD_REQUIRE(n_modes >= 1 && n_modes <= 12, "n_modes must be in [1, 12]");
+  PARSVD_REQUIRE(n_modes < n_lon * n_lat, "more modes than grid points");
+  PARSVD_REQUIRE(leading_amplitude > 0.0, "leading amplitude must be positive");
+  PARSVD_REQUIRE(amplitude_decay > 0.0 && amplitude_decay < 1.0,
+                 "amplitude decay must lie in (0, 1)");
+  PARSVD_REQUIRE(noise_std >= 0.0, "noise std must be non-negative");
+}
+
+Era5Synthetic::Era5Synthetic(const Era5Config& config)
+    : config_(config), noise_base_(config.seed ^ 0xe5a5ULL) {
+  config_.validate();
+  build_modes();
+  build_amplitudes();
+}
+
+void Era5Synthetic::build_modes() {
+  const Index n_lat = config_.n_lat;
+  const Index n_lon = config_.n_lon;
+  const Index grid = grid_size();
+
+  // Climatological mean: sea-level baseline with subtropical highs
+  // (~±30°) and polar/equatorial lows.
+  mean_ = Vector(grid);
+  for (Index la = 0; la < n_lat; ++la) {
+    // Latitude centers from -90 to +90.
+    const double theta =
+        (-90.0 + (static_cast<double>(la) + 0.5) * 180.0 /
+                     static_cast<double>(n_lat)) *
+        kPi / 180.0;
+    const double belt = 8.0 * std::cos(2.0 * theta) * std::cos(theta);
+    for (Index lo = 0; lo < n_lon; ++lo) {
+      mean_[grid_index(la, lo)] = config_.base_pressure + belt;
+    }
+  }
+
+  // Raw planetary-wave patterns; index m cycles through zonal wavenumber
+  // and meridional structure combinations.
+  Matrix raw(grid, config_.n_modes);
+  for (Index m = 0; m < config_.n_modes; ++m) {
+    const Index zonal = m / 2 + (m % 2);       // 0, 1, 1, 2, 2, 3, ...
+    const Index merid = m / 2 + 1;             // 1, 1, 2, 2, 3, 3, ...
+    const bool sine_phase = (m % 2 == 1);
+    for (Index la = 0; la < n_lat; ++la) {
+      const double theta =
+          (-90.0 + (static_cast<double>(la) + 0.5) * 180.0 /
+                       static_cast<double>(n_lat)) *
+          kPi / 180.0;
+      // Meridional envelope: vanishes at the poles, `merid` sign changes.
+      const double envelope =
+          std::cos(theta) * std::sin(static_cast<double>(merid) *
+                                     (theta + kPi / 2.0));
+      for (Index lo = 0; lo < n_lon; ++lo) {
+        const double lambda = 2.0 * kPi * static_cast<double>(lo) /
+                              static_cast<double>(n_lon);
+        const double zphase =
+            (zonal == 0)
+                ? 1.0
+                : (sine_phase ? std::sin(static_cast<double>(zonal) * lambda)
+                              : std::cos(static_cast<double>(zonal) * lambda));
+        raw(grid_index(la, lo), m) = envelope * zphase;
+      }
+    }
+  }
+  const Index dropped = orthonormalize_mgs2(raw);
+  PARSVD_CHECK(dropped == 0, "planted ERA5 modes were linearly dependent");
+  modes_ = std::move(raw);
+}
+
+void Era5Synthetic::build_amplitudes() {
+  const Index n = config_.snapshots;
+  const Index k = config_.n_modes;
+  amplitudes_ = Matrix(n, k);
+  Rng rng(config_.seed);
+
+  // Each mode oscillates at a distinct harmonic of a 32-day planetary-
+  // wave base period (128 six-hourly steps); distinct frequencies keep
+  // the amplitude series mutually near-orthogonal over windows of a few
+  // hundred snapshots, which is what makes the planted modes recoverable
+  // by the SVD (the verification the real ERA5 cannot provide).
+  const double base = 2.0 * kPi / 128.0;
+
+  for (Index m = 0; m < k; ++m) {
+    const double sigma =
+        config_.leading_amplitude * std::pow(config_.amplitude_decay,
+                                             static_cast<double>(m));
+    Rng stream = rng.split(static_cast<std::uint64_t>(m));
+    // Mode energy: half deterministic cycles, half AR(1) weather noise.
+    const double det_frac = 0.5;
+    const double cyc_amp = sigma * std::sqrt(det_frac) * std::sqrt(2.0);
+    const double ar_sigma = sigma * std::sqrt(1.0 - det_frac);
+    const double rho = 0.9;  // 6-hourly AR(1) → decorrelation in ~2 days
+    const double innov = ar_sigma * std::sqrt(1.0 - rho * rho);
+    const double phase = stream.uniform(0.0, 2.0 * kPi);
+    const double freq = base * static_cast<double>(m + 1);
+
+    double ar = ar_sigma * stream.gaussian();
+    for (Index t = 0; t < n; ++t) {
+      const double cyc =
+          cyc_amp * std::sin(freq * static_cast<double>(t) + phase);
+      amplitudes_(t, m) = cyc + ar;
+      ar = rho * ar + innov * stream.gaussian();
+    }
+  }
+
+  // Decorrelate: finite samples of distinct-frequency cycles plus AR(1)
+  // noise retain O(1/sqrt(n_eff)) cross-correlations, which would mix
+  // the recovered modes. Sequential orthogonalization (each series keeps
+  // its own character minus projections onto earlier ones) followed by
+  // rescaling to the target energies makes the sample covariance exactly
+  // diagonal — so the SVD of the noise-free field recovers φ_k exactly,
+  // the property the verification tests rely on.
+  const Index dropped = orthonormalize_mgs2(amplitudes_);
+  PARSVD_CHECK(dropped == 0, "amplitude series were linearly dependent");
+  const double root_n = std::sqrt(static_cast<double>(n));
+  for (Index m = 0; m < k; ++m) {
+    const double sigma =
+        config_.leading_amplitude * std::pow(config_.amplitude_decay,
+                                             static_cast<double>(m));
+    scal(root_n * sigma, amplitudes_.col_span(m));
+  }
+}
+
+Vector Era5Synthetic::amplitude_std() const {
+  Vector out(config_.n_modes);
+  for (Index m = 0; m < config_.n_modes; ++m) {
+    double mean = 0.0;
+    for (Index t = 0; t < config_.snapshots; ++t) mean += amplitudes_(t, m);
+    mean /= static_cast<double>(config_.snapshots);
+    double var = 0.0;
+    for (Index t = 0; t < config_.snapshots; ++t) {
+      const double d = amplitudes_(t, m) - mean;
+      var += d * d;
+    }
+    out[m] = std::sqrt(var / static_cast<double>(config_.snapshots));
+  }
+  return out;
+}
+
+Vector Era5Synthetic::area_weights() const {
+  Vector w(grid_size());
+  double sum = 0.0;
+  for (Index la = 0; la < config_.n_lat; ++la) {
+    const double theta =
+        (-90.0 + (static_cast<double>(la) + 0.5) * 180.0 /
+                     static_cast<double>(config_.n_lat)) *
+        kPi / 180.0;
+    const double cell = std::max(std::cos(theta), 1e-6);
+    for (Index lo = 0; lo < config_.n_lon; ++lo) {
+      w[grid_index(la, lo)] = cell;
+      sum += cell;
+    }
+  }
+  // Normalize to mean 1 so weighted and unweighted singular values stay
+  // on comparable scales.
+  const double scale = static_cast<double>(grid_size()) / sum;
+  for (Index i = 0; i < w.size(); ++i) w[i] *= scale;
+  return w;
+}
+
+Vector Era5Synthetic::snapshot(Index t) const {
+  const Matrix block = snapshot_block(0, grid_size(), t, 1, false);
+  return block.col(0);
+}
+
+Matrix Era5Synthetic::snapshot_block(Index row0, Index nrows, Index col0,
+                                     Index ncols, bool subtract_mean) const {
+  PARSVD_REQUIRE(row0 >= 0 && nrows > 0 && row0 + nrows <= grid_size(),
+                 "row hyperslab out of range");
+  PARSVD_REQUIRE(col0 >= 0 && ncols > 0 && col0 + ncols <= config_.snapshots,
+                 "snapshot hyperslab out of range");
+  Matrix out(nrows, ncols);
+  const std::uint64_t noise_seed = config_.seed * 0x100000001b3ULL;
+  for (Index j = 0; j < ncols; ++j) {
+    const Index t = col0 + j;
+    double* col = out.col_data(j);
+    for (Index i = 0; i < nrows; ++i) {
+      const Index cell = row0 + i;
+      double v = subtract_mean ? 0.0 : mean_[cell];
+      for (Index m = 0; m < config_.n_modes; ++m) {
+        v += amplitudes_(t, m) * modes_(cell, m);
+      }
+      if (config_.noise_std > 0.0) {
+        const std::uint64_t key =
+            noise_seed ^ (static_cast<std::uint64_t>(cell) << 24) ^
+            static_cast<std::uint64_t>(t);
+        v += config_.noise_std * gaussian_at(key);
+      }
+      col[i] = v;
+    }
+  }
+  return out;
+}
+
+}  // namespace parsvd::workloads

@@ -1,0 +1,58 @@
+#include "workloads/lowrank.hpp"
+
+#include <cmath>
+
+#include "linalg/blas.hpp"
+#include "linalg/qr.hpp"
+
+namespace parsvd::workloads {
+
+Matrix random_orthonormal(Index m, Index k, Rng& rng) {
+  PARSVD_REQUIRE(k <= m, "cannot have more orthonormal columns than rows");
+  Matrix g = Matrix::gaussian(m, k, rng);
+  QrResult qr = qr_thin(g);
+  return std::move(qr.q);
+}
+
+Matrix synthetic_low_rank(Index m, Index n, const Vector& spectrum, Rng& rng) {
+  const Index k = spectrum.size();
+  PARSVD_REQUIRE(k >= 1 && k <= std::min(m, n),
+                 "spectrum length must be in [1, min(m, n)]");
+  for (Index i = 0; i < k; ++i) {
+    PARSVD_REQUIRE(spectrum[i] >= 0.0, "singular values must be >= 0");
+    if (i > 0) {
+      PARSVD_REQUIRE(spectrum[i] <= spectrum[i - 1],
+                     "spectrum must be descending");
+    }
+  }
+  const Matrix u = random_orthonormal(m, k, rng);
+  const Matrix v = random_orthonormal(n, k, rng);
+  Matrix us = u;
+  for (Index j = 0; j < k; ++j) scal(spectrum[j], us.col_span(j));
+  return matmul(us, v, Trans::No, Trans::Yes);
+}
+
+Vector geometric_spectrum(Index k, double first, double ratio) {
+  PARSVD_REQUIRE(k >= 1, "spectrum length must be positive");
+  PARSVD_REQUIRE(first > 0.0 && ratio > 0.0 && ratio <= 1.0,
+                 "need first > 0 and ratio in (0, 1]");
+  Vector s(k);
+  double v = first;
+  for (Index i = 0; i < k; ++i) {
+    s[i] = v;
+    v *= ratio;
+  }
+  return s;
+}
+
+Vector algebraic_spectrum(Index k, double first, double power) {
+  PARSVD_REQUIRE(k >= 1, "spectrum length must be positive");
+  PARSVD_REQUIRE(first > 0.0 && power >= 0.0, "need first > 0, power >= 0");
+  Vector s(k);
+  for (Index i = 0; i < k; ++i) {
+    s[i] = first / std::pow(1.0 + static_cast<double>(i), power);
+  }
+  return s;
+}
+
+}  // namespace parsvd::workloads

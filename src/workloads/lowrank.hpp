@@ -1,0 +1,24 @@
+// Synthetic matrices with a prescribed singular spectrum — the standard
+// rig for validating and benchmarking randomized SVD accuracy (§3.3).
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "support/rng.hpp"
+
+namespace parsvd::workloads {
+
+/// A = U diag(spectrum) Vᵀ with Haar-ish random orthonormal U (m x k) and
+/// V (n x k), k = spectrum.size() <= min(m, n). The singular values of A
+/// are exactly `spectrum` (which must be non-negative, descending).
+Matrix synthetic_low_rank(Index m, Index n, const Vector& spectrum, Rng& rng);
+
+/// Geometric spectrum: s_i = first · ratio^i, length k.
+Vector geometric_spectrum(Index k, double first, double ratio);
+
+/// Slowly-decaying algebraic spectrum: s_i = first / (1 + i)^power.
+Vector algebraic_spectrum(Index k, double first, double power);
+
+/// Random matrix with orthonormal columns (m x k), from QR of a Gaussian.
+Matrix random_orthonormal(Index m, Index k, Rng& rng);
+
+}  // namespace parsvd::workloads

@@ -1,0 +1,143 @@
+// Tridiagonal (tred2/tql2) eigensolver tests: invariants, known cases,
+// and cross-validation against the independently-implemented Jacobi
+// backend — two unrelated algorithms agreeing on random inputs is the
+// strongest correctness evidence available without a reference LAPACK.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/blas.hpp"
+#include "linalg/eigh.hpp"
+#include "test_utils.hpp"
+
+namespace parsvd {
+namespace {
+
+using testing::expect_matrix_near;
+using testing::expect_vector_near;
+using testing::naive_matmul;
+using testing::ortho_defect;
+using testing::random_symmetric;
+
+EighOptions tri() {
+  EighOptions opts;
+  opts.method = EighMethod::Tridiagonal;
+  return opts;
+}
+
+TEST(EighTridiagonal, DiagonalMatrix) {
+  const EighResult e = eigh(Matrix::diag(Vector{3, 1, 2}), tri());
+  EXPECT_DOUBLE_EQ(e.values[0], 3.0);
+  EXPECT_DOUBLE_EQ(e.values[1], 2.0);
+  EXPECT_DOUBLE_EQ(e.values[2], 1.0);
+}
+
+TEST(EighTridiagonal, Known2x2) {
+  const EighResult e = eigh(Matrix{{2, 1}, {1, 2}}, tri());
+  EXPECT_NEAR(e.values[0], 3.0, 1e-14);
+  EXPECT_NEAR(e.values[1], 1.0, 1e-14);
+}
+
+TEST(EighTridiagonal, OneByOne) {
+  const EighResult e = eigh(Matrix{{-5.0}}, tri());
+  EXPECT_DOUBLE_EQ(e.values[0], -5.0);
+}
+
+TEST(EighTridiagonal, AlreadyTridiagonal) {
+  // The discrete 1-D Laplacian has eigenvalues 2 - 2cos(kπ/(n+1)).
+  const Index n = 12;
+  Matrix a(n, n);
+  for (Index i = 0; i < n; ++i) {
+    a(i, i) = 2.0;
+    if (i + 1 < n) {
+      a(i, i + 1) = -1.0;
+      a(i + 1, i) = -1.0;
+    }
+  }
+  const EighResult e = eigh(a, tri());
+  constexpr double kPi = 3.14159265358979323846;
+  for (Index k = 0; k < n; ++k) {
+    // Descending order → the k-th value uses mode (n - k).
+    const double expected =
+        2.0 - 2.0 * std::cos(static_cast<double>(n - k) * kPi /
+                             static_cast<double>(n + 1));
+    EXPECT_NEAR(e.values[k], expected, 1e-12) << "k = " << k;
+  }
+}
+
+TEST(EighTridiagonal, VectorsOrthonormal) {
+  const EighResult e = eigh(random_symmetric(25, 81), tri());
+  EXPECT_LT(ortho_defect(e.vectors), 1e-12);
+}
+
+TEST(EighTridiagonal, Reconstruction) {
+  const Matrix a = random_symmetric(18, 82);
+  const EighResult e = eigh(a, tri());
+  const Matrix vd = naive_matmul(e.vectors, Matrix::diag(e.values));
+  expect_matrix_near(naive_matmul(vd, e.vectors.transposed()), a, 1e-11);
+}
+
+TEST(EighTridiagonal, AgreesWithJacobiOnSpectra) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Matrix a = random_symmetric(20, 900 + seed);
+    const EighResult ej = eigh(a);  // Jacobi default
+    const EighResult et = eigh(a, tri());
+    expect_vector_near(et.values, ej.values, 1e-11, "spectra");
+  }
+}
+
+TEST(EighTridiagonal, AgreesWithJacobiOnSubspaces) {
+  const Matrix a = random_symmetric(15, 83);
+  const EighResult ej = eigh(a);
+  const EighResult et = eigh(a, tri());
+  // Eigenvectors agree up to sign for simple spectra.
+  for (Index j = 0; j < 15; ++j) {
+    const double c =
+        std::fabs(dot(ej.vectors.col_span(j), et.vectors.col_span(j)));
+    EXPECT_GT(c, 1.0 - 1e-9) << "pair " << j;
+  }
+}
+
+TEST(EighTridiagonal, RepeatedEigenvalues) {
+  Matrix a = 2.0 * Matrix::identity(4);
+  a(0, 0) = 5.0;
+  const EighResult e = eigh(a, tri());
+  EXPECT_NEAR(e.values[0], 5.0, 1e-13);
+  for (Index i = 1; i < 4; ++i) EXPECT_NEAR(e.values[i], 2.0, 1e-13);
+  EXPECT_LT(ortho_defect(e.vectors), 1e-12);
+}
+
+TEST(EighTridiagonal, NegativeSpectra) {
+  Matrix a = random_symmetric(10, 84);
+  a -= 100.0 * Matrix::identity(10);
+  const EighResult e = eigh(a, tri());
+  for (Index i = 0; i < 10; ++i) EXPECT_LT(e.values[i], 0.0);
+  const Matrix vd = naive_matmul(e.vectors, Matrix::diag(e.values));
+  expect_matrix_near(naive_matmul(vd, e.vectors.transposed()), a, 1e-9);
+}
+
+TEST(EighTridiagonal, RejectsNonSquareAndAsymmetric) {
+  EXPECT_THROW(eigh(Matrix(3, 4), tri()), Error);
+  EXPECT_THROW(eigh(Matrix{{1, 2}, {5, 1}}, tri()), Error);
+}
+
+class EighTridiagonalSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(EighTridiagonalSweep, CrossValidatesJacobi) {
+  const auto [n, seed] = GetParam();
+  const Matrix a = random_symmetric(n, 1000 + seed);
+  const EighResult ej = eigh(a);
+  const EighResult et = eigh(a, tri());
+  expect_vector_near(et.values, ej.values,
+                     1e-10 * std::max(1.0, a.norm_fro()));
+  EXPECT_LT(ortho_defect(et.vectors), 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, EighTridiagonalSweep,
+    ::testing::Combine(::testing::Values(2, 3, 8, 17, 40, 64),
+                       ::testing::Values(0u, 1u, 2u)));
+
+}  // namespace
+}  // namespace parsvd

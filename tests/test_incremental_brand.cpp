@@ -1,0 +1,187 @@
+// Brand incremental-SVD baseline tests: agreement with the batch SVD and
+// with the Levy-Lindenbaum update, right-vector tracking, long-stream
+// orthogonality (the periodic re-orthonormalization), forget-factor
+// equivalence.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/incremental_brand.hpp"
+#include "core/streaming.hpp"
+#include "linalg/blas.hpp"
+#include "post/metrics.hpp"
+#include "test_utils.hpp"
+#include "workloads/batch_source.hpp"
+#include "workloads/burgers.hpp"
+#include "workloads/lowrank.hpp"
+
+namespace parsvd {
+namespace {
+
+using testing::ortho_defect;
+namespace wl = workloads;
+
+void stream_in(SvdBase& s, const Matrix& data, Index batch) {
+  wl::MatrixBatchSource src(data);
+  s.initialize(src.next_batch(batch));
+  while (!src.exhausted()) s.incorporate_data(src.next_batch(batch));
+}
+
+TEST(IncrementalBrand, MatchesBatchSvdOnLowRankData) {
+  Rng rng(500);
+  const Matrix data = wl::synthetic_low_rank(
+      120, 60, wl::geometric_spectrum(5, 10.0, 0.4), rng);
+  StreamingOptions opts;
+  opts.num_modes = 8;
+  opts.forget_factor = 1.0;
+  IncrementalSVD s(opts);
+  stream_in(s, data, 12);
+
+  const SvdResult ref = svd(data);
+  for (Index i = 0; i < 5; ++i) {
+    EXPECT_NEAR(s.singular_values()[i], ref.s[i], 1e-8 * ref.s[0]);
+  }
+  const Vector errs =
+      post::mode_errors_l2(s.modes().left_cols(5), ref.u.left_cols(5));
+  for (Index j = 0; j < 5; ++j) EXPECT_LT(errs[j], 1e-6) << "mode " << j;
+}
+
+TEST(IncrementalBrand, AgreesWithLevyLindenbaum) {
+  // Same options, same stream: the two updates compute the same
+  // mathematical object at ff = 1 (and approximately for ff < 1).
+  wl::BurgersConfig cfg;
+  cfg.grid_points = 400;
+  cfg.snapshots = 100;
+  const Matrix data = wl::Burgers(cfg).snapshot_matrix();
+
+  for (double ff : {1.0, 0.9}) {
+    StreamingOptions opts;
+    opts.num_modes = 6;
+    opts.forget_factor = ff;
+    SerialStreamingSVD ll(opts);
+    IncrementalSVD brand(opts);
+    stream_in(ll, data, 20);
+    stream_in(brand, data, 20);
+    for (Index i = 0; i < 6; ++i) {
+      EXPECT_NEAR(brand.singular_values()[i], ll.singular_values()[i],
+                  1e-6 * ll.singular_values()[0])
+          << "ff=" << ff << " sigma " << i;
+    }
+    const Vector errs = post::mode_errors_l2(brand.modes(), ll.modes());
+    for (Index j = 0; j < 4; ++j) {
+      EXPECT_LT(errs[j], 1e-4) << "ff=" << ff << " mode " << j;
+    }
+  }
+}
+
+TEST(IncrementalBrand, RightVectorTrackingReconstructsStream) {
+  Rng rng(501);
+  const Matrix data = wl::synthetic_low_rank(
+      80, 50, wl::geometric_spectrum(4, 5.0, 0.5), rng);
+  StreamingOptions opts;
+  opts.num_modes = 6;
+  opts.forget_factor = 1.0;
+  IncrementalSVD s(opts, /*track_right_vectors=*/true);
+  stream_in(s, data, 10);
+
+  ASSERT_EQ(s.right_vectors().rows(), 50);
+  ASSERT_EQ(s.right_vectors().cols(), s.modes().cols());
+  const Matrix rec = s.reconstruct_stream();
+  testing::expect_matrix_near(rec, data, 1e-8);
+}
+
+TEST(IncrementalBrand, RightVectorsOrthonormal) {
+  Rng rng(502);
+  const Matrix data = wl::synthetic_low_rank(
+      60, 40, wl::geometric_spectrum(4, 3.0, 0.5), rng);
+  StreamingOptions opts;
+  opts.num_modes = 4;
+  opts.forget_factor = 1.0;
+  IncrementalSVD s(opts, true);
+  stream_in(s, data, 8);
+  EXPECT_LT(ortho_defect(s.right_vectors()), 1e-9);
+}
+
+TEST(IncrementalBrand, RightVectorsRequireOptIn) {
+  StreamingOptions opts;
+  opts.num_modes = 2;
+  IncrementalSVD s(opts);
+  s.initialize(testing::random_matrix(10, 5, 503));
+  EXPECT_THROW(s.right_vectors(), Error);
+  EXPECT_THROW(s.reconstruct_stream(), Error);
+}
+
+TEST(IncrementalBrand, LongStreamStaysOrthonormal) {
+  // 100 updates crosses the re-orthonormalization interval three times;
+  // drift must stay at the eps level.
+  Rng rng(504);
+  StreamingOptions opts;
+  opts.num_modes = 5;
+  opts.forget_factor = 0.99;
+  IncrementalSVD s(opts);
+  s.initialize(Matrix::gaussian(200, 8, rng));
+  for (int i = 0; i < 100; ++i) {
+    Matrix batch = Matrix::gaussian(200, 4, rng);
+    s.incorporate_data(batch);
+  }
+  EXPECT_LT(ortho_defect(s.modes()), 1e-10);
+  EXPECT_EQ(s.iterations(), 100);
+}
+
+TEST(IncrementalBrand, WeightedStreamSupported) {
+  const Index m = 50;
+  Rng rng(505);
+  Vector w(m);
+  for (Index i = 0; i < m; ++i) w[i] = rng.uniform(0.5, 2.0);
+  StreamingOptions opts;
+  opts.num_modes = 3;
+  opts.forget_factor = 1.0;
+  opts.row_weights = w;
+  IncrementalSVD s(opts, true);
+  const Matrix data = testing::random_matrix(m, 30, 506);
+  stream_in(s, data, 10);
+  // physical_modes W-orthonormal (inherited machinery).
+  const Matrix phi = s.physical_modes();
+  double worst = 0.0;
+  for (Index a = 0; a < 3; ++a) {
+    for (Index c = 0; c < 3; ++c) {
+      double sum = 0.0;
+      for (Index i = 0; i < m; ++i) sum += phi(i, a) * w[i] * phi(i, c);
+      worst = std::max(worst, std::fabs(sum - (a == c ? 1.0 : 0.0)));
+    }
+  }
+  EXPECT_LT(worst, 1e-9);
+}
+
+TEST(IncrementalBrand, ApiContract) {
+  StreamingOptions opts;
+  opts.num_modes = 2;
+  IncrementalSVD s(opts);
+  EXPECT_THROW(s.incorporate_data(Matrix(3, 1, 1.0)), Error);
+  s.initialize(Matrix(3, 2, 1.0));
+  EXPECT_THROW(s.initialize(Matrix(3, 2, 1.0)), Error);
+  EXPECT_THROW(s.incorporate_data(Matrix(4, 1, 1.0)), Error);
+}
+
+TEST(IncrementalBrand, RandomizedInnerPath) {
+  Rng rng(507);
+  const Matrix data = wl::synthetic_low_rank(
+      150, 60, wl::geometric_spectrum(4, 8.0, 0.4), rng);
+  StreamingOptions det;
+  det.num_modes = 4;
+  det.forget_factor = 1.0;
+  StreamingOptions rnd = det;
+  rnd.low_rank = true;
+  rnd.randomized.oversampling = 10;
+  rnd.randomized.power_iterations = 2;
+  IncrementalSVD sd(det), sr(rnd);
+  stream_in(sd, data, 15);
+  stream_in(sr, data, 15);
+  for (Index i = 0; i < 4; ++i) {
+    EXPECT_NEAR(sr.singular_values()[i], sd.singular_values()[i],
+                1e-3 * sd.singular_values()[0]);
+  }
+}
+
+}  // namespace
+}  // namespace parsvd

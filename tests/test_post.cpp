@@ -1,0 +1,240 @@
+// Post-processing tests: sign alignment, mode errors, principal angles,
+// spectrum/reconstruction metrics, and the PGM/ASCII exporters.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "linalg/blas.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/svd.hpp"
+#include "post/export.hpp"
+#include "post/metrics.hpp"
+#include "test_utils.hpp"
+#include "workloads/lowrank.hpp"
+
+namespace parsvd {
+namespace {
+
+using testing::expect_matrix_near;
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(AlignSigns, FlipsAntiParallelColumns) {
+  Matrix ref = testing::random_matrix(10, 3, 1);
+  Matrix flipped = ref;
+  scal(-1.0, flipped.col_span(1));
+  const Matrix aligned = post::align_signs(flipped, ref);
+  expect_matrix_near(aligned, ref, 0.0);
+}
+
+TEST(AlignSigns, LeavesAlignedAlone) {
+  const Matrix ref = testing::random_matrix(8, 2, 2);
+  expect_matrix_near(post::align_signs(ref, ref), ref, 0.0);
+}
+
+TEST(ModeErrors, ZeroForIdentical) {
+  const Matrix m = testing::random_matrix(12, 4, 3);
+  const Vector l2 = post::mode_errors_l2(m, m);
+  const Vector mx = post::mode_errors_max(m, m);
+  for (Index j = 0; j < 4; ++j) {
+    EXPECT_DOUBLE_EQ(l2[j], 0.0);
+    EXPECT_DOUBLE_EQ(mx[j], 0.0);
+  }
+}
+
+TEST(ModeErrors, SignInsensitive) {
+  const Matrix ref = testing::random_matrix(10, 2, 4);
+  Matrix flipped = ref;
+  flipped *= -1.0;
+  const Vector l2 = post::mode_errors_l2(flipped, ref);
+  for (Index j = 0; j < 2; ++j) EXPECT_LT(l2[j], 1e-15);
+}
+
+TEST(ModeErrors, DetectsPerturbation) {
+  Matrix ref = testing::random_matrix(10, 1, 5);
+  Matrix noisy = ref;
+  noisy(0, 0) += 0.5;
+  const Vector mx = post::mode_errors_max(noisy, ref);
+  EXPECT_NEAR(mx[0], 0.5, 1e-12);
+}
+
+TEST(PointwiseModeError, MatchesDefinition) {
+  Matrix ref = testing::random_matrix(6, 2, 6);
+  Matrix other = ref;
+  other(3, 1) += 0.25;
+  const Vector err = post::pointwise_mode_error(other, ref, 1);
+  EXPECT_NEAR(err[3], 0.25, 1e-12);
+  EXPECT_NEAR(err[0], 0.0, 1e-12);
+}
+
+TEST(PrincipalAngles, IdenticalSubspacesZero) {
+  Rng rng(7);
+  const Matrix q = workloads::random_orthonormal(20, 4, rng);
+  EXPECT_LT(post::max_principal_angle(q, q), 1e-7);
+}
+
+TEST(PrincipalAngles, OrthogonalSubspacesRightAngle) {
+  Matrix a(6, 1, 0.0), b(6, 1, 0.0);
+  a(0, 0) = 1.0;
+  b(3, 0) = 1.0;
+  EXPECT_NEAR(post::max_principal_angle(a, b), kPi / 2.0, 1e-12);
+}
+
+TEST(PrincipalAngles, KnownAngle) {
+  // Vectors at 30 degrees.
+  Matrix a(2, 1), b(2, 1);
+  a(0, 0) = 1.0;
+  a(1, 0) = 0.0;
+  b(0, 0) = std::cos(kPi / 6.0);
+  b(1, 0) = std::sin(kPi / 6.0);
+  EXPECT_NEAR(post::max_principal_angle(a, b), kPi / 6.0, 1e-12);
+}
+
+TEST(PrincipalAngles, RotationWithinSubspaceIgnored) {
+  // The subspace metric must be invariant under intra-subspace rotation
+  // that column-wise errors would flag.
+  Rng rng(8);
+  const Matrix q = workloads::random_orthonormal(15, 2, rng);
+  Matrix rotated(15, 2);
+  const double c = std::cos(0.7), s = std::sin(0.7);
+  for (Index i = 0; i < 15; ++i) {
+    rotated(i, 0) = c * q(i, 0) - s * q(i, 1);
+    rotated(i, 1) = s * q(i, 0) + c * q(i, 1);
+  }
+  EXPECT_LT(post::max_principal_angle(q, rotated), 1e-7);
+}
+
+TEST(SpectrumError, RelativeDefinition) {
+  Vector ref{10.0, 1.0}, est{11.0, 0.9};
+  const Vector err = post::spectrum_relative_error(ref, est);
+  EXPECT_NEAR(err[0], 0.1, 1e-12);
+  EXPECT_NEAR(err[1], 0.1, 1e-12);
+}
+
+TEST(ReconstructionError, ZeroForExactFactors) {
+  Rng rng(9);
+  const Matrix a = workloads::synthetic_low_rank(
+      20, 10, workloads::geometric_spectrum(4, 2.0, 0.5), rng);
+  const SvdResult f = svd(a);
+  EXPECT_LT(post::relative_reconstruction_error(a, f.u, f.s, f.v), 1e-12);
+}
+
+TEST(ReconstructionError, TruncationMatchesTailEnergy) {
+  Rng rng(10);
+  const Vector spectrum{4.0, 2.0, 1.0};
+  const Matrix a = workloads::synthetic_low_rank(30, 15, spectrum, rng);
+  SvdOptions opts;
+  opts.rank = 2;
+  const SvdResult f = svd(a, opts);
+  // ||A - A_2||_F = σ_3; relative = σ_3 / ||A||_F.
+  const double expected = 1.0 / std::sqrt(16.0 + 4.0 + 1.0);
+  EXPECT_NEAR(post::relative_reconstruction_error(a, f.u, f.s, f.v), expected,
+              1e-10);
+}
+
+TEST(ProjectionError, ZeroWhenSpanned) {
+  Rng rng(11);
+  const Matrix a = workloads::synthetic_low_rank(
+      25, 12, workloads::geometric_spectrum(3, 5.0, 0.5), rng);
+  SvdOptions opts;
+  opts.rank = 3;
+  const SvdResult f = svd(a, opts);
+  EXPECT_LT(post::relative_projection_error(a, f.u), 1e-12);
+}
+
+TEST(ModeCosine, BoundsAndExactness) {
+  const Matrix m = testing::random_matrix(10, 2, 12);
+  EXPECT_NEAR(post::mode_cosine(m, 0, m, 0), 1.0, 1e-12);
+  const double c = post::mode_cosine(m, 0, m, 1);
+  EXPECT_GE(c, 0.0);
+  EXPECT_LE(c, 1.0);
+}
+
+// ------------------------------------------------------------- exporters
+
+class ExportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("parsvd_post_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(ExportTest, PgmHeaderAndSize) {
+  Vector field(6 * 4);
+  for (Index i = 0; i < field.size(); ++i) field[i] = static_cast<double>(i);
+  const std::string path = (dir_ / "mode.pgm").string();
+  post::write_mode_pgm(path, field, 4, 6);
+
+  std::ifstream in(path, std::ios::binary);
+  std::string magic;
+  int w, h, maxval;
+  in >> magic >> w >> h >> maxval;
+  EXPECT_EQ(magic, "P5");
+  EXPECT_EQ(w, 6);
+  EXPECT_EQ(h, 4);
+  EXPECT_EQ(maxval, 255);
+  in.get();  // single whitespace after header
+  std::vector<unsigned char> pixels(24);
+  in.read(reinterpret_cast<char*>(pixels.data()), 24);
+  ASSERT_TRUE(in.good());
+  EXPECT_EQ(pixels[0], 0);      // min value → 0
+  EXPECT_EQ(pixels[23], 255);   // max value → 255
+}
+
+TEST_F(ExportTest, PgmSizeValidated) {
+  EXPECT_THROW(
+      post::write_mode_pgm((dir_ / "x.pgm").string(), Vector(5), 2, 3), Error);
+}
+
+TEST(AsciiHeatmap, DimensionsRespected) {
+  Vector field(20 * 40);
+  for (Index i = 0; i < field.size(); ++i) {
+    field[i] = std::sin(static_cast<double>(i));
+  }
+  const std::string art = post::ascii_heatmap(field, 20, 40, 10, 30);
+  Index lines = 0;
+  std::size_t pos = 0;
+  while ((pos = art.find('\n', pos)) != std::string::npos) {
+    ++lines;
+    ++pos;
+  }
+  EXPECT_EQ(lines, 10);
+  EXPECT_EQ(art.find('\n'), 30u);  // first line width
+}
+
+TEST(AsciiHeatmap, ConstantFieldUniform) {
+  const std::string art = post::ascii_heatmap(Vector(12, 5.0), 3, 4, 3, 4);
+  // All cells render the same character.
+  char c = art[0];
+  for (char ch : art) {
+    if (ch != '\n') EXPECT_EQ(ch, c);
+  }
+}
+
+TEST(AsciiPlot, ProducesRequestedRows) {
+  Vector sig(100);
+  for (Index i = 0; i < 100; ++i) {
+    sig[i] = std::sin(0.1 * static_cast<double>(i));
+  }
+  const std::string art = post::ascii_plot(sig, 8, 40);
+  Index lines = 0;
+  std::size_t pos = 0;
+  while ((pos = art.find('\n', pos)) != std::string::npos) {
+    ++lines;
+    ++pos;
+  }
+  EXPECT_EQ(lines, 8);
+  EXPECT_NE(art.find('*'), std::string::npos);
+}
+
+TEST(AsciiPlot, RejectsEmptySignal) {
+  EXPECT_THROW(post::ascii_plot(Vector{}), Error);
+}
+
+}  // namespace
+}  // namespace parsvd

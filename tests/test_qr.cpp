@@ -1,0 +1,232 @@
+// QR factorization tests: reconstruction, orthogonality, sign convention,
+// wide matrices, Q application, least squares, and Gram-Schmidt.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "linalg/blas.hpp"
+#include "linalg/qr.hpp"
+#include "test_utils.hpp"
+
+namespace parsvd {
+namespace {
+
+using testing::expect_matrix_near;
+using testing::naive_matmul;
+using testing::ortho_defect;
+using testing::random_matrix;
+
+TEST(Qr, ReconstructsTall) {
+  const Matrix a = random_matrix(20, 5, 1);
+  const QrResult qr = qr_thin(a);
+  ASSERT_EQ(qr.q.rows(), 20);
+  ASSERT_EQ(qr.q.cols(), 5);
+  ASSERT_EQ(qr.r.rows(), 5);
+  ASSERT_EQ(qr.r.cols(), 5);
+  expect_matrix_near(naive_matmul(qr.q, qr.r), a, 1e-12);
+}
+
+TEST(Qr, QHasOrthonormalColumns) {
+  const Matrix a = random_matrix(50, 8, 2);
+  const QrResult qr = qr_thin(a);
+  EXPECT_LT(ortho_defect(qr.q), 1e-13);
+}
+
+TEST(Qr, RIsUpperTriangular) {
+  const Matrix a = random_matrix(12, 6, 3);
+  const QrResult qr = qr_thin(a);
+  for (Index j = 0; j < qr.r.cols(); ++j) {
+    for (Index i = j + 1; i < qr.r.rows(); ++i) {
+      EXPECT_DOUBLE_EQ(qr.r(i, j), 0.0);
+    }
+  }
+}
+
+TEST(Qr, SignConventionPositiveDiagonal) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Matrix a = random_matrix(15, 6, 40 + seed);
+    const QrResult qr = qr_thin(a);
+    for (Index i = 0; i < 6; ++i) EXPECT_GE(qr.r(i, i), 0.0) << "seed " << seed;
+  }
+}
+
+TEST(Qr, SignConventionMakesFactorizationUnique) {
+  // Full-rank A has a unique QR with positive diag(R); scrambling the
+  // input sign column-wise must not change Q·R, and must reproduce the
+  // exact same R diag signs.
+  const Matrix a = random_matrix(10, 4, 5);
+  const QrResult qr1 = qr_thin(a);
+  Matrix a2 = a;
+  // A cosmetic perturbation: qr of the same matrix twice.
+  const QrResult qr2 = qr_thin(a2);
+  expect_matrix_near(qr1.q, qr2.q, 0.0);
+  expect_matrix_near(qr1.r, qr2.r, 0.0);
+}
+
+TEST(Qr, WideMatrixReducedShapes) {
+  const Matrix a = random_matrix(4, 9, 6);
+  const QrResult qr = qr_thin(a);
+  ASSERT_EQ(qr.q.rows(), 4);
+  ASSERT_EQ(qr.q.cols(), 4);
+  ASSERT_EQ(qr.r.rows(), 4);
+  ASSERT_EQ(qr.r.cols(), 9);
+  expect_matrix_near(naive_matmul(qr.q, qr.r), a, 1e-12);
+  EXPECT_LT(ortho_defect(qr.q), 1e-13);
+}
+
+TEST(Qr, SquareMatrix) {
+  const Matrix a = random_matrix(7, 7, 7);
+  const QrResult qr = qr_thin(a);
+  expect_matrix_near(naive_matmul(qr.q, qr.r), a, 1e-12);
+}
+
+TEST(Qr, SingleColumn) {
+  const Matrix a = random_matrix(9, 1, 8);
+  const QrResult qr = qr_thin(a);
+  EXPECT_NEAR(qr.r(0, 0), a.col(0).norm2(), 1e-13);
+}
+
+TEST(Qr, RankDeficientStillFactors) {
+  // Two identical columns: QR exists, R(1,1) = 0.
+  Matrix a(6, 2);
+  Rng rng(9);
+  for (Index i = 0; i < 6; ++i) {
+    a(i, 0) = rng.gaussian();
+    a(i, 1) = a(i, 0);
+  }
+  const QrResult qr = qr_thin(a);
+  expect_matrix_near(naive_matmul(qr.q, qr.r), a, 1e-12);
+  EXPECT_NEAR(qr.r(1, 1), 0.0, 1e-12);
+}
+
+TEST(Qr, ZeroMatrixFactors) {
+  const Matrix a(5, 3, 0.0);
+  const QrResult qr = qr_thin(a);
+  expect_matrix_near(naive_matmul(qr.q, qr.r), a, 1e-14);
+}
+
+TEST(Qr, EmptyThrows) {
+  EXPECT_THROW(qr_thin(Matrix{}), Error);
+}
+
+TEST(HouseholderQr, ApplyQtThenQRoundTrips) {
+  const Matrix a = random_matrix(12, 5, 10);
+  const HouseholderQr f(a);
+  Matrix b = random_matrix(12, 3, 11);
+  const Matrix b0 = b;
+  f.apply_qt(b);
+  f.apply_q(b);
+  expect_matrix_near(b, b0, 1e-12);
+}
+
+TEST(HouseholderQr, ApplyQtGivesRFromA) {
+  const Matrix a = random_matrix(10, 4, 12);
+  const HouseholderQr f(a);
+  Matrix work = a;
+  f.apply_qt(work);
+  // Top 4x4 of QᵀA must equal R.
+  const Matrix r = f.r();
+  expect_matrix_near(work.top_rows(4), r, 1e-12);
+  // Below the triangle everything must vanish.
+  for (Index j = 0; j < 4; ++j) {
+    for (Index i = 4; i < 10; ++i) EXPECT_NEAR(work(i, j), 0.0, 1e-12);
+  }
+}
+
+TEST(HouseholderQr, LeastSquaresSolvesConsistentSystem) {
+  const Matrix a = random_matrix(20, 5, 13);
+  Vector x_true(5);
+  Rng rng(14);
+  for (Index i = 0; i < 5; ++i) x_true[i] = rng.gaussian();
+  Vector b(20, 0.0);
+  gemv(Trans::No, 1.0, a, x_true.span(), 0.0, b.span());
+  const HouseholderQr f(a);
+  const Vector x = f.solve_least_squares(b);
+  testing::expect_vector_near(x, x_true, 1e-11);
+}
+
+TEST(HouseholderQr, LeastSquaresMinimizesResidualNorm) {
+  const Matrix a = random_matrix(15, 3, 15);
+  Vector b(15);
+  Rng rng(16);
+  for (Index i = 0; i < 15; ++i) b[i] = rng.gaussian();
+  const HouseholderQr f(a);
+  const Vector x = f.solve_least_squares(b);
+  // Residual must be orthogonal to the column space: Aᵀ(b - Ax) = 0.
+  Vector r = b;
+  gemv(Trans::No, -1.0, a, x.span(), 1.0, r.span());
+  Vector atr(3, 0.0);
+  gemv(Trans::Yes, 1.0, a, r.span(), 0.0, atr.span());
+  EXPECT_LT(atr.norm_inf(), 1e-11);
+}
+
+TEST(HouseholderQr, LeastSquaresRejectsWide) {
+  const Matrix a = random_matrix(3, 5, 17);
+  const HouseholderQr f(a);
+  EXPECT_THROW(f.solve_least_squares(Vector(3)), Error);
+}
+
+TEST(Mgs2, OrthonormalizesWellConditioned) {
+  Matrix a = random_matrix(30, 6, 18);
+  const Index dropped = orthonormalize_mgs2(a);
+  EXPECT_EQ(dropped, 0);
+  EXPECT_LT(ortho_defect(a), 1e-13);
+}
+
+TEST(Mgs2, DetectsDependentColumns) {
+  Matrix a(10, 3);
+  Rng rng(19);
+  for (Index i = 0; i < 10; ++i) {
+    a(i, 0) = rng.gaussian();
+    a(i, 1) = rng.gaussian();
+    a(i, 2) = 2.0 * a(i, 0) - a(i, 1);  // dependent
+  }
+  const Index dropped = orthonormalize_mgs2(a);
+  EXPECT_EQ(dropped, 1);
+  // The dropped column is zeroed.
+  EXPECT_DOUBLE_EQ(nrm2(a.col_span(2)), 0.0);
+}
+
+TEST(Mgs2, IllConditionedStaysOrthogonal) {
+  // Near-dependent columns — the second pass is what saves this.
+  Matrix a(50, 4);
+  Rng rng(20);
+  for (Index i = 0; i < 50; ++i) a(i, 0) = rng.gaussian();
+  for (Index j = 1; j < 4; ++j) {
+    for (Index i = 0; i < 50; ++i) {
+      a(i, j) = a(i, 0) + 1e-7 * rng.gaussian();
+    }
+  }
+  orthonormalize_mgs2(a);
+  EXPECT_LT(ortho_defect(a), 1e-12);
+}
+
+TEST(OrthogonalityError, ZeroForExactQ) {
+  EXPECT_DOUBLE_EQ(orthogonality_error(Matrix::identity(4)), 0.0);
+}
+
+// ----------------------------------------------------------- shape sweep
+
+class QrShapeSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, std::uint64_t>> {};
+
+TEST_P(QrShapeSweep, FactorizationInvariants) {
+  const auto [m, n, seed] = GetParam();
+  const Matrix a = random_matrix(m, n, seed);
+  const QrResult qr = qr_thin(a);
+  const Index k = std::min<Index>(m, n);
+  ASSERT_EQ(qr.q.cols(), k);
+  ASSERT_EQ(qr.r.rows(), k);
+  expect_matrix_near(naive_matmul(qr.q, qr.r), a, 1e-11);
+  EXPECT_LT(ortho_defect(qr.q), 1e-12);
+  for (Index i = 0; i < k; ++i) EXPECT_GE(qr.r(i, i), -1e-15);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, QrShapeSweep,
+    ::testing::Combine(::testing::Values(1, 2, 5, 23, 64, 200),
+                       ::testing::Values(1, 2, 5, 23),
+                       ::testing::Values(0u, 1u, 2u)));
+
+}  // namespace
+}  // namespace parsvd

@@ -1,0 +1,163 @@
+// Reduced-order-modeling API tests: modal projection and reconstruction
+// (SvdBase::project / reconstruct), serial vs distributed, weighted and
+// unweighted — the Galerkin workflow of paper §2.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <mutex>
+
+#include "core/parallel_streaming.hpp"
+#include "core/streaming.hpp"
+#include "linalg/blas.hpp"
+#include "test_utils.hpp"
+#include "workloads/batch_source.hpp"
+#include "workloads/lowrank.hpp"
+
+namespace parsvd {
+namespace {
+
+using pmpi::Communicator;
+namespace wl = workloads;
+
+Matrix low_rank_data(Index m, Index n, Index k, std::uint64_t seed) {
+  Rng rng(seed);
+  return wl::synthetic_low_rank(m, n, wl::geometric_spectrum(k, 10.0, 0.5),
+                                rng);
+}
+
+TEST(Rom, ProjectReconstructRoundTripsLowRankData) {
+  // K >= rank and ff = 1: projecting training data and reconstructing
+  // must reproduce it to working precision.
+  const Matrix data = low_rank_data(80, 40, 4, 1);
+  StreamingOptions opts;
+  opts.num_modes = 4;
+  opts.forget_factor = 1.0;
+  SerialStreamingSVD s(opts);
+  s.initialize(data);
+
+  const Matrix coeffs = s.project(data);
+  ASSERT_EQ(coeffs.rows(), 4);
+  ASSERT_EQ(coeffs.cols(), 40);
+  const Matrix rec = s.reconstruct(coeffs);
+  testing::expect_matrix_near(rec, data, 1e-9);
+}
+
+TEST(Rom, CoefficientEnergyMatchesSingularValues) {
+  // On training data, row j of the coefficients is σ_j v_jᵀ — its norm
+  // equals σ_j.
+  const Matrix data = low_rank_data(60, 30, 3, 2);
+  StreamingOptions opts;
+  opts.num_modes = 3;
+  opts.forget_factor = 1.0;
+  SerialStreamingSVD s(opts);
+  s.initialize(data);
+  const Matrix coeffs = s.project(data);
+  for (Index j = 0; j < 3; ++j) {
+    EXPECT_NEAR(coeffs.row(j).norm2(), s.singular_values()[j],
+                1e-8 * s.singular_values()[0])
+        << "row " << j;
+  }
+}
+
+TEST(Rom, ProjectionOfUnseenSnapshotBounded) {
+  const Matrix data = low_rank_data(50, 25, 3, 3);
+  StreamingOptions opts;
+  opts.num_modes = 3;
+  opts.forget_factor = 1.0;
+  SerialStreamingSVD s(opts);
+  s.initialize(data);
+
+  // An unseen snapshot inside the span reconstructs exactly; one outside
+  // the span reconstructs to its projection only.
+  Matrix in_span(50, 1);
+  for (Index i = 0; i < 50; ++i) in_span(i, 0) = 2.0 * data(i, 3) - data(i, 7);
+  const Matrix rec = s.reconstruct(s.project(in_span));
+  testing::expect_matrix_near(rec, in_span, 1e-9);
+
+  Rng rng(4);
+  Matrix random_snap = Matrix::gaussian(50, 1, rng);
+  const Matrix rec2 = s.reconstruct(s.project(random_snap));
+  // ||rec2|| <= ||snap|| (orthogonal projection is a contraction).
+  EXPECT_LE(rec2.norm_fro(), random_snap.norm_fro() + 1e-12);
+}
+
+TEST(Rom, WeightedProjectionUsesWInnerProduct) {
+  const Index m = 40;
+  Rng rng(5);
+  Vector w(m);
+  for (Index i = 0; i < m; ++i) w[i] = rng.uniform(0.5, 2.0);
+
+  const Matrix data = low_rank_data(m, 20, 3, 6);
+  StreamingOptions opts;
+  opts.num_modes = 3;
+  opts.forget_factor = 1.0;
+  opts.row_weights = w;
+  SerialStreamingSVD s(opts);
+  s.initialize(data);
+
+  // project must equal Φᵀ W B with the physical modes.
+  const Matrix phi = s.physical_modes();
+  const Matrix coeffs = s.project(data);
+  Matrix expected(3, 20, 0.0);
+  for (Index j = 0; j < 20; ++j) {
+    for (Index k = 0; k < 3; ++k) {
+      double sum = 0.0;
+      for (Index i = 0; i < m; ++i) sum += phi(i, k) * w[i] * data(i, j);
+      expected(k, j) = sum;
+    }
+  }
+  testing::expect_matrix_near(coeffs, expected, 1e-10);
+
+  // Round trip still exact for in-span data.
+  testing::expect_matrix_near(s.reconstruct(coeffs), data, 1e-9);
+}
+
+TEST(Rom, ParallelProjectMatchesSerial) {
+  const Matrix data = low_rank_data(90, 30, 4, 7);
+  StreamingOptions opts;
+  opts.num_modes = 4;
+  opts.forget_factor = 1.0;
+
+  SerialStreamingSVD serial(opts);
+  serial.initialize(data);
+  const Matrix serial_coeffs = serial.project(data);
+
+  std::vector<Matrix> coeffs_per_rank(3);
+  std::vector<Matrix> rec_blocks(3);
+  std::mutex mu;
+  pmpi::run(3, [&](Communicator& comm) {
+    const auto part = wl::partition_rows(90, 3, comm.rank());
+    ParallelStreamingSVD psvd(comm, opts);
+    const Matrix local = data.block(part.offset, 0, part.count, 30);
+    psvd.initialize(local);
+    Matrix c = psvd.project(local);
+    Matrix r = psvd.reconstruct(c);
+    std::lock_guard<std::mutex> lock(mu);
+    coeffs_per_rank[static_cast<std::size_t>(comm.rank())] = std::move(c);
+    rec_blocks[static_cast<std::size_t>(comm.rank())] = std::move(r);
+  });
+
+  // Every rank holds identical global coefficients.
+  for (int r = 1; r < 3; ++r) {
+    testing::expect_matrix_near(coeffs_per_rank[static_cast<std::size_t>(r)],
+                                coeffs_per_rank[0], 0.0);
+  }
+  // Coefficients match the serial run up to per-mode sign: compare via
+  // reassembled reconstruction, which is sign-invariant.
+  const Matrix par_rec = vcat(rec_blocks);
+  testing::expect_matrix_near(par_rec, data, 1e-8);
+  testing::expect_matrix_near(serial.reconstruct(serial_coeffs), data, 1e-8);
+}
+
+TEST(Rom, ApiContract) {
+  StreamingOptions opts;
+  opts.num_modes = 2;
+  SerialStreamingSVD s(opts);
+  EXPECT_THROW(s.project(Matrix(4, 1, 1.0)), Error);      // before init
+  EXPECT_THROW(s.reconstruct(Matrix(2, 1, 1.0)), Error);  // before init
+  s.initialize(testing::random_matrix(6, 4, 8));
+  EXPECT_THROW(s.reconstruct(Matrix(5, 1, 1.0)), Error);  // wrong K
+}
+
+}  // namespace
+}  // namespace parsvd

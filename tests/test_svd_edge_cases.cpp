@@ -1,0 +1,200 @@
+// Edge-case and robustness tests for the SVD backends: graded spectra,
+// duplicate singular values, bidiagonal-already inputs, extreme scales,
+// rank deficiency, and agreement on the paper's own data shapes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/blas.hpp"
+#include "linalg/svd.hpp"
+#include "test_utils.hpp"
+#include "workloads/burgers.hpp"
+#include "workloads/lowrank.hpp"
+
+namespace parsvd {
+namespace {
+
+using testing::expect_vector_near;
+using testing::ortho_defect;
+namespace wl = workloads;
+
+TEST(SvdEdge, GradedSpectrumTwelveOrders) {
+  // σ spanning 1e0 .. 1e-12: Jacobi must resolve every value to high
+  // relative accuracy (its signature property).
+  Rng rng(1);
+  Vector spectrum(7);
+  for (Index i = 0; i < 7; ++i) spectrum[i] = std::pow(10.0, -2.0 * static_cast<double>(i));
+  const Matrix a = wl::synthetic_low_rank(40, 20, spectrum, rng);
+  const SvdResult f = svd_jacobi(a);
+  // The synthetic construction itself (GEMM at sigma_max scale) injects
+  // ~eps*sigma_max absolute noise into the data, so the achievable bound
+  // is relative accuracy down to ~1e-10 and absolute eps*sigma_max below.
+  for (Index i = 0; i < 7; ++i) {
+    const double tol =
+        std::max(1e-10 * spectrum[i], 5e-16 * spectrum[0] * 100.0);
+    EXPECT_NEAR(f.s[i], spectrum[i], tol) << "sigma " << i;
+  }
+}
+
+TEST(SvdEdge, GolubKahanGradedSpectrum) {
+  // GK's accuracy is absolute (eps * sigma_max), looser than Jacobi for
+  // tiny values — document the contract at 1e-8 sigma_max.
+  Rng rng(2);
+  Vector spectrum{1.0, 1e-4, 1e-8};
+  const Matrix a = wl::synthetic_low_rank(30, 15, spectrum, rng);
+  const SvdResult f = svd_golub_kahan(a);
+  EXPECT_NEAR(f.s[0], 1.0, 1e-13);
+  EXPECT_NEAR(f.s[1], 1e-4, 1e-12);
+  EXPECT_NEAR(f.s[2], 1e-8, 1e-13 * 1.0);  // absolute eps*sigma_max bound
+}
+
+TEST(SvdEdge, DuplicateSingularValues) {
+  // σ = {2, 2, 1}: the paired subspace is degenerate; factors must stay
+  // orthonormal and reconstruct exactly even though individual vectors
+  // are non-unique.
+  Rng rng(3);
+  const Vector spectrum{2.0, 2.0, 1.0};
+  const Matrix a = wl::synthetic_low_rank(25, 12, spectrum, rng);
+  for (const auto method :
+       {SvdMethod::Jacobi, SvdMethod::GolubKahan, SvdMethod::MethodOfSnapshots}) {
+    SvdOptions opts;
+    opts.method = method;
+    opts.rank = 3;  // the rank-deficient tail would yield zero U columns
+    const SvdResult f = svd(a, opts);
+    EXPECT_NEAR(f.s[0], 2.0, 1e-10);
+    EXPECT_NEAR(f.s[1], 2.0, 1e-10);
+    EXPECT_NEAR(f.s[2], 1.0, 1e-10);
+    EXPECT_LT(ortho_defect(f.u), 1e-9);
+    testing::expect_matrix_near(f.reconstruct(), a, 1e-10);
+  }
+}
+
+TEST(SvdEdge, AlreadyDiagonalRectangular) {
+  Matrix a(5, 3, 0.0);
+  a(0, 0) = 3.0;
+  a(1, 1) = 2.0;
+  a(2, 2) = 1.0;
+  for (const auto method : {SvdMethod::Jacobi, SvdMethod::GolubKahan}) {
+    SvdOptions opts;
+    opts.method = method;
+    const SvdResult f = svd(a, opts);
+    EXPECT_NEAR(f.s[0], 3.0, 1e-14);
+    EXPECT_NEAR(f.s[1], 2.0, 1e-14);
+    EXPECT_NEAR(f.s[2], 1.0, 1e-14);
+  }
+}
+
+TEST(SvdEdge, BidiagonalInput) {
+  // Exercise the GK chasing on an input that IS bidiagonal (no
+  // reduction work, straight to QL).
+  Matrix a(4, 4, 0.0);
+  a(0, 0) = 4.0; a(0, 1) = 1.0;
+  a(1, 1) = 3.0; a(1, 2) = 1.0;
+  a(2, 2) = 2.0; a(2, 3) = 1.0;
+  a(3, 3) = 1.0;
+  const SvdResult gk = svd_golub_kahan(a);
+  const SvdResult jac = svd_jacobi(a);
+  expect_vector_near(gk.s, jac.s, 1e-12);
+  testing::expect_matrix_near(gk.reconstruct(), a, 1e-12);
+}
+
+TEST(SvdEdge, ExtremeScaleLarge) {
+  Rng rng(4);
+  Matrix a = Matrix::gaussian(12, 8, rng);
+  a *= 1e150;
+  const SvdResult f = svd(a);
+  EXPECT_TRUE(std::isfinite(f.s[0]));
+  EXPECT_GT(f.s[0], 1e149);
+  testing::expect_matrix_near(f.reconstruct(), a, 1e138);
+}
+
+TEST(SvdEdge, ExtremeScaleTiny) {
+  Rng rng(5);
+  Matrix a = Matrix::gaussian(12, 8, rng);
+  a *= 1e-150;
+  const SvdResult f = svd(a);
+  EXPECT_GT(f.s[0], 0.0);
+  testing::expect_matrix_near(f.reconstruct(), a, 1e-162);
+}
+
+TEST(SvdEdge, SingleRowAndColumn) {
+  const Matrix row{{3.0, 4.0}};
+  const SvdResult fr = svd(row);
+  EXPECT_NEAR(fr.s[0], 5.0, 1e-14);
+  Matrix col(2, 1);
+  col(0, 0) = 3.0;
+  col(1, 0) = 4.0;
+  const SvdResult fc = svd(col);
+  EXPECT_NEAR(fc.s[0], 5.0, 1e-14);
+}
+
+TEST(SvdEdge, OrthogonalInputHasUnitSpectrum) {
+  Rng rng(6);
+  const Matrix q = wl::random_orthonormal(20, 20, rng);
+  const SvdResult f = svd(q);
+  for (Index i = 0; i < 20; ++i) EXPECT_NEAR(f.s[i], 1.0, 1e-12);
+}
+
+TEST(SvdEdge, BurgersShapeBackendsAgree) {
+  // The paper's data shape (tall snapshot matrix, fast-decaying
+  // spectrum): all three backends agree on the retained spectrum.
+  wl::BurgersConfig cfg;
+  cfg.grid_points = 512;
+  cfg.snapshots = 80;
+  const Matrix a = wl::Burgers(cfg).snapshot_matrix();
+  SvdOptions j, g, m;
+  j.method = SvdMethod::Jacobi;
+  g.method = SvdMethod::GolubKahan;
+  m.method = SvdMethod::MethodOfSnapshots;
+  m.eigh_method = EighMethod::Tridiagonal;
+  j.rank = g.rank = m.rank = 10;
+  const SvdResult fj = svd(a, j);
+  const SvdResult fg = svd(a, g);
+  const SvdResult fm = svd(a, m);
+  for (Index i = 0; i < 10; ++i) {
+    EXPECT_NEAR(fg.s[i], fj.s[i], 1e-9 * fj.s[0]) << "GK sigma " << i;
+    EXPECT_NEAR(fm.s[i], fj.s[i], 1e-7 * fj.s[0]) << "MOS sigma " << i;
+  }
+}
+
+TEST(SvdEdge, MosTridiagonalMatchesMosJacobi) {
+  Rng rng(7);
+  const Matrix a = Matrix::gaussian(60, 25, rng);
+  SvdOptions mj, mt;
+  mj.method = mt.method = SvdMethod::MethodOfSnapshots;
+  mj.eigh_method = EighMethod::Jacobi;
+  mt.eigh_method = EighMethod::Tridiagonal;
+  const SvdResult fj = svd(a, mj);
+  const SvdResult ft = svd(a, mt);
+  expect_vector_near(ft.s, fj.s, 1e-9 * fj.s[0]);
+}
+
+TEST(SvdEdge, RepeatedCallsDeterministic) {
+  const Matrix a = testing::random_matrix(30, 18, 8);
+  const SvdResult f1 = svd(a);
+  const SvdResult f2 = svd(a);
+  testing::expect_matrix_near(f1.u, f2.u, 0.0);
+  testing::expect_matrix_near(f1.v, f2.v, 0.0);
+  expect_vector_near(f1.s, f2.s, 0.0);
+}
+
+TEST(SvdEdge, NearRankDeficientStable) {
+  // Two nearly-identical columns (differ at 1e-13): no backend may blow
+  // up, and the tiny second singular value must be << the first.
+  Matrix a(20, 2);
+  Rng rng(9);
+  for (Index i = 0; i < 20; ++i) {
+    a(i, 0) = rng.gaussian();
+    a(i, 1) = a(i, 0) * (1.0 + 1e-13);
+  }
+  for (const auto method : {SvdMethod::Jacobi, SvdMethod::GolubKahan}) {
+    SvdOptions opts;
+    opts.method = method;
+    const SvdResult f = svd(a, opts);
+    EXPECT_LT(f.s[1] / f.s[0], 1e-11);
+    testing::expect_matrix_near(f.reconstruct(), a, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace parsvd

@@ -1,0 +1,73 @@
+// Shared helpers for the parsvd test suite: naive reference kernels
+// (deliberately independent from the library implementations), random
+// matrix factories, and gtest matchers for matrix proximity.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/matrix.hpp"
+#include "support/rng.hpp"
+
+namespace parsvd::testing {
+
+/// Reference O(mnk) matmul written against operator() only.
+inline Matrix naive_matmul(const Matrix& a, const Matrix& b) {
+  EXPECT_EQ(a.cols(), b.rows());
+  Matrix c(a.rows(), b.cols());
+  for (Index i = 0; i < a.rows(); ++i) {
+    for (Index j = 0; j < b.cols(); ++j) {
+      double s = 0.0;
+      for (Index k = 0; k < a.cols(); ++k) s += a(i, k) * b(k, j);
+      c(i, j) = s;
+    }
+  }
+  return c;
+}
+
+inline Matrix random_matrix(Index rows, Index cols, std::uint64_t seed) {
+  Rng rng(seed);
+  return Matrix::gaussian(rows, cols, rng);
+}
+
+/// Random symmetric matrix with entries O(1).
+inline Matrix random_symmetric(Index n, std::uint64_t seed) {
+  const Matrix g = random_matrix(n, n, seed);
+  Matrix s(n, n);
+  for (Index j = 0; j < n; ++j) {
+    for (Index i = 0; i < n; ++i) s(i, j) = 0.5 * (g(i, j) + g(j, i));
+  }
+  return s;
+}
+
+inline void expect_matrix_near(const Matrix& actual, const Matrix& expected,
+                               double tol, const char* what = "") {
+  ASSERT_EQ(actual.rows(), expected.rows()) << what;
+  ASSERT_EQ(actual.cols(), expected.cols()) << what;
+  const double err = max_abs_diff(actual, expected);
+  EXPECT_LE(err, tol) << what << " max |diff| = " << err;
+}
+
+inline void expect_vector_near(const Vector& actual, const Vector& expected,
+                               double tol, const char* what = "") {
+  ASSERT_EQ(actual.size(), expected.size()) << what;
+  const double err = max_abs_diff(actual, expected);
+  EXPECT_LE(err, tol) << what << " max |diff| = " << err;
+}
+
+/// Max |AᵀA - I| — orthonormal-columns check.
+inline double ortho_defect(const Matrix& q) {
+  double worst = 0.0;
+  for (Index i = 0; i < q.cols(); ++i) {
+    for (Index j = 0; j < q.cols(); ++j) {
+      double s = 0.0;
+      for (Index r = 0; r < q.rows(); ++r) s += q(r, i) * q(r, j);
+      const double target = (i == j) ? 1.0 : 0.0;
+      worst = std::max(worst, std::fabs(s - target));
+    }
+  }
+  return worst;
+}
+
+}  // namespace parsvd::testing

@@ -1,0 +1,254 @@
+// Weighted-inner-product streaming SVD tests: √w-space orthonormality,
+// physical-space W-orthonormality, recovery of planted W-orthonormal
+// modes, serial/parallel agreement, ERA5 area weights.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <mutex>
+
+#include "core/parallel_streaming.hpp"
+#include "core/streaming.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/qr.hpp"
+#include "post/metrics.hpp"
+#include "test_utils.hpp"
+#include "workloads/batch_source.hpp"
+#include "workloads/era5_synthetic.hpp"
+#include "workloads/lowrank.hpp"
+
+namespace parsvd {
+namespace {
+
+using pmpi::Communicator;
+using testing::ortho_defect;
+namespace wl = workloads;
+
+/// Max |ΦᵀWΦ - I| — orthonormality under the weighted inner product.
+double weighted_ortho_defect(const Matrix& phi, const Vector& w) {
+  double worst = 0.0;
+  for (Index i = 0; i < phi.cols(); ++i) {
+    for (Index j = 0; j < phi.cols(); ++j) {
+      double s = 0.0;
+      for (Index r = 0; r < phi.rows(); ++r) s += phi(r, i) * w[r] * phi(r, j);
+      const double target = (i == j) ? 1.0 : 0.0;
+      worst = std::max(worst, std::fabs(s - target));
+    }
+  }
+  return worst;
+}
+
+Vector test_weights(Index m, std::uint64_t seed) {
+  Rng rng(seed);
+  Vector w(m);
+  for (Index i = 0; i < m; ++i) w[i] = rng.uniform(0.2, 3.0);
+  return w;
+}
+
+/// Data with known W-orthonormal modes: A = Φ diag(a) Gᵀ where
+/// ΦᵀWΦ = I — built by unscaling an orthonormal basis of √w space.
+struct PlantedWeighted {
+  Matrix data;
+  Matrix phi;  // W-orthonormal planted modes
+  Vector w;
+};
+
+PlantedWeighted make_planted(Index m, Index n, Index k, std::uint64_t seed) {
+  PlantedWeighted out;
+  out.w = test_weights(m, seed);
+  Rng rng(seed + 1);
+  const Matrix q = wl::random_orthonormal(m, k, rng);  // orthonormal in √w space
+  out.phi = Matrix(m, k);
+  for (Index j = 0; j < k; ++j) {
+    for (Index i = 0; i < m; ++i) {
+      out.phi(i, j) = q(i, j) / std::sqrt(out.w[i]);
+    }
+  }
+  // Amplitudes: orthogonal time series with descending energies.
+  Matrix amps = wl::random_orthonormal(n, k, rng);
+  for (Index j = 0; j < k; ++j) {
+    scal(10.0 * std::pow(0.5, static_cast<double>(j)) *
+             std::sqrt(static_cast<double>(n)),
+         amps.col_span(j));
+  }
+  out.data = matmul(out.phi, amps, Trans::No, Trans::Yes);
+  return out;
+}
+
+TEST(WeightedStreaming, UnweightedPhysicalEqualsModes) {
+  StreamingOptions opts;
+  opts.num_modes = 3;
+  SerialStreamingSVD s(opts);
+  s.initialize(testing::random_matrix(20, 10, 1));
+  testing::expect_matrix_near(s.physical_modes(), s.modes(), 0.0);
+}
+
+TEST(WeightedStreaming, ModesOrthonormalInScaledSpace) {
+  const Index m = 60;
+  StreamingOptions opts;
+  opts.num_modes = 4;
+  opts.row_weights = test_weights(m, 2);
+  SerialStreamingSVD s(opts);
+  s.initialize(testing::random_matrix(m, 20, 3));
+  s.incorporate_data(testing::random_matrix(m, 20, 4));
+  EXPECT_LT(ortho_defect(s.modes()), 1e-10);
+}
+
+TEST(WeightedStreaming, PhysicalModesWOrthonormal) {
+  const Index m = 60;
+  StreamingOptions opts;
+  opts.num_modes = 4;
+  opts.row_weights = test_weights(m, 5);
+  SerialStreamingSVD s(opts);
+  s.initialize(testing::random_matrix(m, 25, 6));
+  EXPECT_LT(weighted_ortho_defect(s.physical_modes(), opts.row_weights),
+            1e-10);
+}
+
+TEST(WeightedStreaming, RecoversPlantedWOrthonormalModes) {
+  const PlantedWeighted p = make_planted(80, 40, 3, 7);
+  StreamingOptions opts;
+  opts.num_modes = 3;
+  opts.forget_factor = 1.0;
+  opts.row_weights = p.w;
+  SerialStreamingSVD s(opts);
+  wl::MatrixBatchSource src(p.data);
+  s.initialize(src.next_batch(10));
+  while (!src.exhausted()) s.incorporate_data(src.next_batch(10));
+
+  const Matrix physical = s.physical_modes();
+  // Weighted cosine between recovered and planted mode.
+  for (Index j = 0; j < 3; ++j) {
+    double num = 0.0;
+    for (Index i = 0; i < 80; ++i) {
+      num += physical(i, j) * p.w[i] * p.phi(i, j);
+    }
+    EXPECT_GT(std::fabs(num), 0.9999) << "mode " << j;
+  }
+}
+
+TEST(WeightedStreaming, WeightsChangeTheAnswer) {
+  // A mode concentrated on heavily-weighted rows must rank higher under
+  // weighting. Row 0 carries amplitude 5, row 1 carries amplitude 6; a
+  // weight of 4 on row 0 flips the energy ordering (5²·4 > 6²).
+  const Index m = 30, n = 20;
+  Matrix data(m, n, 0.0);
+  Rng rng(8);
+  for (Index j = 0; j < n; ++j) {
+    data(0, j) = 5.0 * ((j % 2 == 0) ? 1.0 : -1.0);
+    data(1, j) = 6.0 * ((j % 3 == 0) ? 1.0 : -1.0);
+  }
+  StreamingOptions unweighted;
+  unweighted.num_modes = 1;
+  unweighted.forget_factor = 1.0;
+  StreamingOptions weighted = unweighted;
+  weighted.row_weights = Vector(m, 1.0);
+  weighted.row_weights[0] = 4.0;
+
+  SerialStreamingSVD su(unweighted), sw(weighted);
+  su.initialize(data);
+  sw.initialize(data);
+  // Unweighted: leading mode concentrates on row 1; weighted: row 0.
+  EXPECT_GT(std::fabs(su.modes()(1, 0)), 0.9);
+  EXPECT_GT(std::fabs(sw.modes()(0, 0)), 0.9);
+}
+
+TEST(WeightedStreaming, WrongWeightLengthThrows) {
+  StreamingOptions opts;
+  opts.num_modes = 2;
+  opts.row_weights = Vector(5, 1.0);
+  SerialStreamingSVD s(opts);
+  EXPECT_THROW(s.initialize(Matrix(8, 4, 1.0)), Error);
+}
+
+TEST(WeightedStreaming, NonPositiveWeightRejected) {
+  StreamingOptions opts;
+  opts.num_modes = 2;
+  opts.row_weights = Vector(4, 1.0);
+  opts.row_weights[2] = 0.0;
+  EXPECT_THROW(SerialStreamingSVD{opts}, Error);
+}
+
+TEST(WeightedStreaming, ParallelMatchesSerial) {
+  const PlantedWeighted p = make_planted(120, 30, 3, 9);
+  StreamingOptions opts;
+  opts.num_modes = 3;
+  opts.forget_factor = 1.0;
+
+  StreamingOptions serial_opts = opts;
+  serial_opts.row_weights = p.w;
+  SerialStreamingSVD serial(serial_opts);
+  wl::MatrixBatchSource src(p.data);
+  serial.initialize(src.next_batch(15));
+  while (!src.exhausted()) serial.incorporate_data(src.next_batch(15));
+  const Matrix serial_phys = serial.physical_modes();
+
+  Matrix par_phys;
+  Vector par_s;
+  std::mutex mu;
+  pmpi::run(3, [&](Communicator& comm) {
+    const auto part = wl::partition_rows(120, 3, comm.rank());
+    StreamingOptions local_opts = opts;
+    local_opts.row_weights = p.w.segment(part.offset, part.count);
+    ParallelStreamingSVD psvd(comm, local_opts);
+    wl::MatrixBatchSource local_src(p.data, part.offset, part.count);
+    psvd.initialize(local_src.next_batch(15));
+    while (!local_src.exhausted()) {
+      psvd.incorporate_data(local_src.next_batch(15));
+    }
+    Matrix phys = psvd.physical_modes();  // collective
+    if (comm.is_root()) {
+      std::lock_guard<std::mutex> lock(mu);
+      par_phys = std::move(phys);
+      par_s = psvd.singular_values();
+    }
+  });
+
+  testing::expect_vector_near(par_s, serial.singular_values(),
+                              1e-6 * serial.singular_values()[0]);
+  const Vector errs = post::mode_errors_l2(par_phys, serial_phys);
+  for (Index j = 0; j < errs.size(); ++j) {
+    EXPECT_LT(errs[j], 1e-4) << "mode " << j;
+  }
+  EXPECT_LT(weighted_ortho_defect(par_phys, p.w), 1e-8);
+}
+
+TEST(Era5AreaWeights, CosLatitudeShapeAndNormalization) {
+  wl::Era5Config cfg;
+  cfg.n_lon = 36;
+  cfg.n_lat = 18;
+  cfg.snapshots = 10;
+  wl::Era5Synthetic era(cfg);
+  const Vector w = era.area_weights();
+  ASSERT_EQ(w.size(), era.grid_size());
+  // Mean 1.
+  EXPECT_NEAR(w.sum() / static_cast<double>(w.size()), 1.0, 1e-12);
+  // Equator-adjacent cells heavier than polar cells.
+  EXPECT_GT(w[era.grid_index(9, 0)], w[era.grid_index(0, 0)]);
+  EXPECT_GT(w[era.grid_index(9, 0)], w[era.grid_index(17, 0)]);
+  // Zonally constant.
+  EXPECT_DOUBLE_EQ(w[era.grid_index(5, 0)], w[era.grid_index(5, 20)]);
+  for (Index i = 0; i < w.size(); ++i) EXPECT_GT(w[i], 0.0);
+}
+
+TEST(Era5AreaWeights, WeightedPipelineRuns) {
+  wl::Era5Config cfg;
+  cfg.n_lon = 24;
+  cfg.n_lat = 12;
+  cfg.snapshots = 120;
+  cfg.n_modes = 2;
+  wl::Era5Synthetic era(cfg);
+
+  StreamingOptions opts;
+  opts.num_modes = 2;
+  opts.forget_factor = 1.0;
+  opts.row_weights = era.area_weights();
+  SerialStreamingSVD s(opts);
+  const Matrix data =
+      era.snapshot_block(0, era.grid_size(), 0, cfg.snapshots, true);
+  s.initialize(data);
+  EXPECT_LT(weighted_ortho_defect(s.physical_modes(), opts.row_weights),
+            1e-9);
+}
+
+}  // namespace
+}  // namespace parsvd

@@ -1,0 +1,375 @@
+// Workload generator tests: Burgers analytical solution (boundary
+// conditions, PDE residual, block consistency), synthetic ERA5 (planted
+// orthonormal modes, variance ordering, hyperslab determinism), low-rank
+// factories, batch sources and row partitioning.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "io/snapshot_store.hpp"
+#include "linalg/svd.hpp"
+#include "post/metrics.hpp"
+#include "test_utils.hpp"
+#include "workloads/batch_source.hpp"
+#include "workloads/burgers.hpp"
+#include "workloads/era5_synthetic.hpp"
+#include "workloads/lowrank.hpp"
+
+namespace parsvd {
+namespace {
+
+using testing::expect_matrix_near;
+using testing::ortho_defect;
+namespace wl = workloads;
+
+// ---------------------------------------------------------------- Burgers
+
+TEST(Burgers, BoundaryConditionAtZero) {
+  wl::Burgers b;
+  for (double t : {0.0, 0.5, 1.0, 2.0}) {
+    EXPECT_DOUBLE_EQ(b.solution(0.0, t), 0.0);
+  }
+}
+
+TEST(Burgers, BoundaryConditionAtL) {
+  // u(L, t) ≈ 0 — the analytical solution decays exponentially toward
+  // x = L for Re = 1000 (≈1e-10, not exactly zero; the paper's boundary
+  // condition is satisfied to solver accuracy).
+  wl::Burgers b;
+  for (double t : {0.0, 1.0, 2.0}) {
+    EXPECT_LT(std::fabs(b.solution(1.0, t)), 1e-8);
+  }
+}
+
+TEST(Burgers, SolutionNonNegativeOnDomain) {
+  wl::BurgersConfig cfg;
+  cfg.grid_points = 200;
+  cfg.snapshots = 10;
+  wl::Burgers b(cfg);
+  const Matrix a = b.snapshot_matrix();
+  for (Index j = 0; j < a.cols(); ++j) {
+    for (Index i = 0; i < a.rows(); ++i) EXPECT_GE(a(i, j), 0.0);
+  }
+}
+
+TEST(Burgers, SatisfiesPdeResidual) {
+  // Verify u_t + u u_x = ν u_xx with central finite differences at
+  // interior sample points. Truncation error dominates; the test bounds
+  // the relative residual, which would be O(1) if the formula were wrong.
+  wl::Burgers b;
+  const double nu = 1.0 / b.config().reynolds;
+  const double h = 1e-5;   // space step for FD
+  const double dt = 1e-6;  // time step for FD
+  for (double x : {0.2, 0.4, 0.6}) {
+    for (double t : {0.5, 1.0, 1.5}) {
+      const double u = b.solution(x, t);
+      const double ut =
+          (b.solution(x, t + dt) - b.solution(x, t - dt)) / (2 * dt);
+      const double ux =
+          (b.solution(x + h, t) - b.solution(x - h, t)) / (2 * h);
+      const double uxx = (b.solution(x + h, t) - 2 * u +
+                          b.solution(x - h, t)) /
+                         (h * h);
+      const double residual = ut + u * ux - nu * uxx;
+      const double scale = std::max({std::fabs(ut), std::fabs(u * ux),
+                                     std::fabs(nu * uxx), 1e-12});
+      EXPECT_LT(std::fabs(residual) / scale, 1e-3)
+          << "x=" << x << " t=" << t;
+    }
+  }
+}
+
+TEST(Burgers, SnapshotMatrixMatchesPointwise) {
+  wl::BurgersConfig cfg;
+  cfg.grid_points = 64;
+  cfg.snapshots = 5;
+  wl::Burgers b(cfg);
+  const Matrix a = b.snapshot_matrix();
+  const Vector x = b.grid();
+  for (Index j = 0; j < 5; ++j) {
+    const double t = b.time_at(j);
+    for (Index i = 0; i < 64; i += 7) {
+      EXPECT_DOUBLE_EQ(a(i, j), b.solution(x[i], t));
+    }
+  }
+}
+
+TEST(Burgers, BlockConsistentWithFullMatrix) {
+  wl::BurgersConfig cfg;
+  cfg.grid_points = 100;
+  cfg.snapshots = 20;
+  wl::Burgers b(cfg);
+  const Matrix full = b.snapshot_matrix();
+  const Matrix block = b.snapshot_block(30, 40, 5, 10);
+  expect_matrix_near(block, full.block(30, 5, 40, 10), 0.0);
+}
+
+TEST(Burgers, GridEndpoints) {
+  wl::Burgers b;
+  const Vector x = b.grid();
+  EXPECT_DOUBLE_EQ(x[0], 0.0);
+  EXPECT_DOUBLE_EQ(x[x.size() - 1], b.config().length);
+}
+
+TEST(Burgers, ConfigValidation) {
+  wl::BurgersConfig bad;
+  bad.grid_points = 1;
+  EXPECT_THROW(wl::Burgers{bad}, Error);
+  wl::BurgersConfig bad2;
+  bad2.reynolds = -1.0;
+  EXPECT_THROW(wl::Burgers{bad2}, Error);
+}
+
+TEST(Burgers, SingularSpectrumDecays) {
+  // Advection-dominated (Re = 1000) data has a moving front, so the
+  // decay is slower than diffusive problems but still strong: the
+  // spectrum must be monotone with σ_10/σ_1 < 0.1 and σ_30/σ_1 < 1e-3.
+  wl::BurgersConfig cfg;
+  cfg.grid_points = 256;
+  cfg.snapshots = 60;
+  const Matrix a = wl::Burgers(cfg).snapshot_matrix();
+  const Vector s = singular_values(a);
+  for (Index i = 1; i < s.size(); ++i) EXPECT_GE(s[i - 1], s[i]);
+  EXPECT_LT(s[10] / s[0], 0.1);
+  EXPECT_LT(s[30] / s[0], 1e-2);
+}
+
+// ------------------------------------------------------------------ ERA5
+
+wl::Era5Config small_era5() {
+  wl::Era5Config cfg;
+  cfg.n_lon = 36;
+  cfg.n_lat = 18;
+  cfg.snapshots = 400;
+  cfg.n_modes = 4;
+  return cfg;
+}
+
+TEST(Era5, TrueModesOrthonormal) {
+  wl::Era5Synthetic era(small_era5());
+  EXPECT_LT(ortho_defect(era.true_modes()), 1e-12);
+}
+
+TEST(Era5, AmplitudeVariancesDescending) {
+  wl::Era5Synthetic era(small_era5());
+  const Vector stds = era.amplitude_std();
+  for (Index m = 1; m < stds.size(); ++m) {
+    EXPECT_GT(stds[m - 1], stds[m]) << "mode " << m;
+  }
+}
+
+TEST(Era5, MeanFieldNearBasePressure) {
+  wl::Era5Synthetic era(small_era5());
+  const Vector& mean = era.mean_field();
+  for (Index i = 0; i < mean.size(); ++i) {
+    EXPECT_NEAR(mean[i], era.config().base_pressure, 10.0);
+  }
+}
+
+TEST(Era5, HyperslabsDeterministicAndConsistent) {
+  wl::Era5Synthetic era(small_era5());
+  const Matrix full = era.snapshot_block(0, era.grid_size(), 10, 6);
+  const Matrix sub = era.snapshot_block(100, 50, 12, 3);
+  expect_matrix_near(sub, full.block(100, 2, 50, 3), 0.0);
+  // Re-reading yields identical values (stateless noise).
+  const Matrix again = era.snapshot_block(100, 50, 12, 3);
+  expect_matrix_near(again, sub, 0.0);
+}
+
+TEST(Era5, SameSeedSameData) {
+  wl::Era5Synthetic a(small_era5()), b(small_era5());
+  expect_matrix_near(a.snapshot_block(0, 100, 0, 5),
+                     b.snapshot_block(0, 100, 0, 5), 0.0);
+}
+
+TEST(Era5, DifferentSeedDifferentData) {
+  wl::Era5Config cfg2 = small_era5();
+  cfg2.seed = 777;
+  wl::Era5Synthetic a(small_era5()), b(cfg2);
+  EXPECT_GT(max_abs_diff(a.snapshot_block(0, 100, 0, 2),
+                         b.snapshot_block(0, 100, 0, 2)),
+            1e-3);
+}
+
+TEST(Era5, SvdRecoversPlantedModes) {
+  // The defining property of the substitution: the SVD of the
+  // mean-subtracted snapshot matrix recovers the planted modes.
+  wl::Era5Config cfg = small_era5();
+  cfg.noise_std = 0.01;
+  wl::Era5Synthetic era(cfg);
+  const Matrix a =
+      era.snapshot_block(0, era.grid_size(), 0, cfg.snapshots, true);
+  SvdOptions opts;
+  opts.rank = cfg.n_modes;
+  const SvdResult f = svd(a, opts);
+  for (Index m = 0; m < cfg.n_modes; ++m) {
+    EXPECT_GT(post::mode_cosine(f.u, m, era.true_modes(), m), 0.99)
+        << "mode " << m;
+  }
+}
+
+TEST(Era5, SnapshotVectorMatchesBlock) {
+  wl::Era5Synthetic era(small_era5());
+  const Vector snap = era.snapshot(17);
+  const Matrix block = era.snapshot_block(0, era.grid_size(), 17, 1);
+  testing::expect_vector_near(snap, block.col(0), 0.0);
+}
+
+TEST(Era5, ConfigValidation) {
+  wl::Era5Config bad = small_era5();
+  bad.n_modes = 0;
+  EXPECT_THROW(wl::Era5Synthetic{bad}, Error);
+  wl::Era5Config bad2 = small_era5();
+  bad2.amplitude_decay = 1.5;
+  EXPECT_THROW(wl::Era5Synthetic{bad2}, Error);
+}
+
+TEST(Era5, GridIndexLayout) {
+  wl::Era5Synthetic era(small_era5());
+  EXPECT_EQ(era.grid_index(0, 0), 0);
+  EXPECT_EQ(era.grid_index(0, 35), 35);
+  EXPECT_EQ(era.grid_index(1, 0), 36);
+  EXPECT_EQ(era.grid_size(), 36 * 18);
+}
+
+// --------------------------------------------------------------- low-rank
+
+TEST(LowRank, SpectraFactories) {
+  const Vector g = wl::geometric_spectrum(4, 8.0, 0.5);
+  EXPECT_DOUBLE_EQ(g[0], 8.0);
+  EXPECT_DOUBLE_EQ(g[3], 1.0);
+  const Vector a = wl::algebraic_spectrum(3, 6.0, 1.0);
+  EXPECT_DOUBLE_EQ(a[0], 6.0);
+  EXPECT_DOUBLE_EQ(a[1], 3.0);
+  EXPECT_DOUBLE_EQ(a[2], 2.0);
+  EXPECT_THROW(wl::geometric_spectrum(0, 1.0, 0.5), Error);
+  EXPECT_THROW(wl::algebraic_spectrum(3, -1.0, 1.0), Error);
+}
+
+TEST(LowRank, SyntheticHasExactSpectrum) {
+  Rng rng(60);
+  const Vector spectrum = wl::geometric_spectrum(5, 3.0, 0.6);
+  const Matrix a = wl::synthetic_low_rank(40, 25, spectrum, rng);
+  const Vector s = singular_values(a);
+  for (Index i = 0; i < 5; ++i) EXPECT_NEAR(s[i], spectrum[i], 1e-12);
+  for (Index i = 5; i < s.size(); ++i) EXPECT_NEAR(s[i], 0.0, 1e-12);
+}
+
+TEST(LowRank, AscendingSpectrumRejected) {
+  Rng rng(61);
+  Vector bad{1.0, 2.0};
+  EXPECT_THROW(wl::synthetic_low_rank(10, 10, bad, rng), Error);
+}
+
+TEST(LowRank, RandomOrthonormal) {
+  Rng rng(62);
+  const Matrix q = wl::random_orthonormal(20, 6, rng);
+  EXPECT_LT(ortho_defect(q), 1e-13);
+  EXPECT_THROW(wl::random_orthonormal(3, 5, rng), Error);
+}
+
+// ------------------------------------------------------------ batch source
+
+TEST(BatchSource, MatrixSourceYieldsAllColumns) {
+  const Matrix data = testing::random_matrix(8, 10, 63);
+  wl::MatrixBatchSource src(data);
+  Matrix acc;
+  while (!src.exhausted()) acc = hcat(acc, src.next_batch(3));
+  expect_matrix_near(acc, data, 0.0);
+  EXPECT_THROW(src.next_batch(1), Error);
+}
+
+TEST(BatchSource, MatrixSourceRowBlock) {
+  const Matrix data = testing::random_matrix(10, 6, 64);
+  wl::MatrixBatchSource src(data, 2, 5);
+  EXPECT_EQ(src.rows(), 5);
+  const Matrix b = src.next_batch(6);
+  expect_matrix_near(b, data.block(2, 0, 5, 6), 0.0);
+}
+
+TEST(BatchSource, TailBatchSmaller) {
+  const Matrix data = testing::random_matrix(4, 7, 65);
+  wl::MatrixBatchSource src(data);
+  EXPECT_EQ(src.next_batch(5).cols(), 5);
+  EXPECT_EQ(src.next_batch(5).cols(), 2);  // tail
+  EXPECT_TRUE(src.exhausted());
+}
+
+TEST(BatchSource, StoreSourceStreamsRowBlock) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const std::string path =
+      (dir / ("parsvd_bs_" + std::to_string(::getpid()) + ".snap")).string();
+  const Matrix data = testing::random_matrix(12, 9, 66);
+  {
+    io::SnapshotWriter w(path, 12, 4);
+    w.append_batch(data);
+    w.close();
+  }
+  wl::StoreBatchSource src(path, 3, 6);
+  Matrix acc;
+  while (!src.exhausted()) acc = hcat(acc, src.next_batch(4));
+  expect_matrix_near(acc, data.block(3, 0, 6, 9), 0.0);
+  std::filesystem::remove(path);
+}
+
+TEST(BatchSource, GeneratorSource) {
+  wl::GeneratorBatchSource src(5, 12, [](Index col0, Index ncols) {
+    Matrix m(5, ncols);
+    for (Index j = 0; j < ncols; ++j) {
+      for (Index i = 0; i < 5; ++i) {
+        m(i, j) = static_cast<double>(col0 + j) + 0.1 * static_cast<double>(i);
+      }
+    }
+    return m;
+  });
+  const Matrix b1 = src.next_batch(5);
+  EXPECT_DOUBLE_EQ(b1(0, 0), 0.0);
+  const Matrix b2 = src.next_batch(5);
+  EXPECT_DOUBLE_EQ(b2(0, 0), 5.0);
+  EXPECT_EQ(src.position(), 10);
+}
+
+TEST(BatchSource, GeneratorShapeValidated) {
+  wl::GeneratorBatchSource src(5, 10,
+                               [](Index, Index) { return Matrix(4, 1); });
+  EXPECT_THROW(src.next_batch(1), Error);
+}
+
+// ------------------------------------------------------------- partition
+
+TEST(PartitionRows, EvenSplit) {
+  const auto p = wl::partition_rows(100, 4, 2);
+  EXPECT_EQ(p.offset, 50);
+  EXPECT_EQ(p.count, 25);
+}
+
+TEST(PartitionRows, RemainderSpreadsToFirstRanks) {
+  // 10 rows over 3 ranks: 4, 3, 3.
+  EXPECT_EQ(wl::partition_rows(10, 3, 0).count, 4);
+  EXPECT_EQ(wl::partition_rows(10, 3, 1).count, 3);
+  EXPECT_EQ(wl::partition_rows(10, 3, 2).count, 3);
+  EXPECT_EQ(wl::partition_rows(10, 3, 1).offset, 4);
+  EXPECT_EQ(wl::partition_rows(10, 3, 2).offset, 7);
+}
+
+TEST(PartitionRows, CoversExactly) {
+  for (int size : {1, 3, 7}) {
+    Index total = 0;
+    for (int r = 0; r < size; ++r) {
+      const auto p = wl::partition_rows(53, size, r);
+      EXPECT_EQ(p.offset, total);
+      total += p.count;
+    }
+    EXPECT_EQ(total, 53);
+  }
+}
+
+TEST(PartitionRows, Validation) {
+  EXPECT_THROW(wl::partition_rows(5, 0, 0), Error);
+  EXPECT_THROW(wl::partition_rows(5, 2, 2), Error);
+  EXPECT_THROW(wl::partition_rows(2, 5, 0), Error);
+}
+
+}  // namespace
+}  // namespace parsvd
