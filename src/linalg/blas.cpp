@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
+#include "support/env.hpp"
 #include "support/thread_pool.hpp"
 
 namespace parsvd {
@@ -38,31 +40,73 @@ double nrm2(std::span<const double> x) {
   return scale * std::sqrt(ssq);
 }
 
+namespace {
+
+bool pool_available() { return ThreadPool::global().size() > 0; }
+
+void gemv_notrans_rows(const Matrix& a, double alpha,
+                       std::span<const double> x, double beta,
+                       std::span<double> y, Index i0, Index i1) {
+  if (beta != 1.0) {
+    for (Index i = i0; i < i1; ++i) {
+      y[static_cast<std::size_t>(i)] =
+          (beta == 0.0) ? 0.0 : beta * y[static_cast<std::size_t>(i)];
+    }
+  }
+  const Index n = a.cols();
+  // Column-major: accumulate one column segment at a time (unit stride).
+  for (Index j = 0; j < n; ++j) {
+    const double xj = alpha * x[static_cast<std::size_t>(j)];
+    if (xj == 0.0) continue;
+    const double* colj = a.col_data(j);
+    for (Index i = i0; i < i1; ++i) y[static_cast<std::size_t>(i)] += xj * colj[i];
+  }
+}
+
+void gemv_trans_cols(const Matrix& a, double alpha, std::span<const double> x,
+                     double beta, std::span<double> y, Index j0, Index j1) {
+  const Index m = a.rows();
+  for (Index j = j0; j < j1; ++j) {
+    const double* colj = a.col_data(j);
+    double s = 0.0;
+    for (Index i = 0; i < m; ++i) s += colj[i] * x[static_cast<std::size_t>(i)];
+    y[static_cast<std::size_t>(j)] =
+        alpha * s + ((beta == 0.0) ? 0.0 : beta * y[static_cast<std::size_t>(j)]);
+  }
+}
+
+}  // namespace
+
 void gemv(Trans trans_a, double alpha, const Matrix& a,
           std::span<const double> x, double beta, std::span<double> y) {
   const Index m = a.rows();
   const Index n = a.cols();
+  const bool parallel = m * n >= kGemvParallelThreshold && pool_available();
   if (trans_a == Trans::No) {
     PARSVD_REQUIRE(static_cast<Index>(x.size()) == n &&
                        static_cast<Index>(y.size()) == m,
                    "gemv: shape mismatch");
-    for (Index i = 0; i < m; ++i) y[static_cast<std::size_t>(i)] *= beta;
-    // Column-major: accumulate one column at a time (unit stride).
-    for (Index j = 0; j < n; ++j) {
-      const double xj = alpha * x[static_cast<std::size_t>(j)];
-      if (xj == 0.0) continue;
-      const double* colj = a.col_data(j);
-      for (Index i = 0; i < m; ++i) y[static_cast<std::size_t>(i)] += xj * colj[i];
+    if (parallel) {
+      ThreadPool::global().parallel_for(
+          0, static_cast<std::size_t>(m), [&](std::size_t lo, std::size_t hi) {
+            gemv_notrans_rows(a, alpha, x, beta, y, static_cast<Index>(lo),
+                              static_cast<Index>(hi));
+          });
+    } else {
+      gemv_notrans_rows(a, alpha, x, beta, y, 0, m);
     }
   } else {
     PARSVD_REQUIRE(static_cast<Index>(x.size()) == m &&
                        static_cast<Index>(y.size()) == n,
                    "gemv^T: shape mismatch");
-    for (Index j = 0; j < n; ++j) {
-      const double* colj = a.col_data(j);
-      double s = 0.0;
-      for (Index i = 0; i < m; ++i) s += colj[i] * x[static_cast<std::size_t>(i)];
-      y[static_cast<std::size_t>(j)] = alpha * s + beta * y[static_cast<std::size_t>(j)];
+    if (parallel) {
+      ThreadPool::global().parallel_for(
+          0, static_cast<std::size_t>(n), [&](std::size_t lo, std::size_t hi) {
+            gemv_trans_cols(a, alpha, x, beta, y, static_cast<Index>(lo),
+                            static_cast<Index>(hi));
+          });
+    } else {
+      gemv_trans_cols(a, alpha, x, beta, y, 0, n);
     }
   }
 }
@@ -80,27 +124,258 @@ void ger(double alpha, std::span<const double> x, std::span<const double> y,
   }
 }
 
+// ===================================================== packed GEMM engine
+//
+// BLIS-style structure: op(A) macro-panels (MC x KC) and op(B) macro-panels
+// (KC x NC) are packed into contiguous, transpose-resolved, zero-padded
+// buffers, and an MR x NR register-tiled micro-kernel accumulates C tiles
+// over the full KC depth before touching memory. Cache block sizes are
+// env-tunable; the micro tile is fixed at compile time so the accumulators
+// live in registers.
+
 namespace {
 
-// Inner kernel: C[mb x nb] += alpha * A[mb x kb] * B[kb x nb] where the
-// operands have already been packed / resolved to plain-index accessors.
-// We keep the kernel generic over the four transpose combinations by
-// resolving strides up front: element (i, k) of op(A) lives at
-// a_data[i * a_ri + k * a_rk].
+// Micro-tile: MR rows (contiguous in packed A and in column-major C) by
+// NR columns. 8x6 doubles = 12 AVX2 / 6 AVX-512 accumulator vectors.
+constexpr Index kMicroRows = 8;
+constexpr Index kMicroCols = 6;
+
+// Element (r, c) of op(M) lives at data[r * stride_row + c * stride_col].
 struct OpView {
   const double* data;
-  Index stride_row;  // step when the op-row index advances
-  Index stride_col;  // step when the op-col index advances
+  Index stride_row;
+  Index stride_col;
 
   double at(Index r, Index c) const { return data[r * stride_row + c * stride_col]; }
+  OpView shifted_cols(Index c0) const { return {data + c0 * stride_col, stride_row, stride_col}; }
 };
 
-OpView make_view(const Matrix& m, Trans t) {
-  if (t == Trans::No) return {m.data(), 1, m.rows()};
-  return {m.data(), m.rows(), 1};
+OpView make_view(const double* data, Index ld, Trans t) {
+  if (t == Trans::No) return {data, 1, ld};
+  return {data, ld, 1};
 }
 
+Index round_up(Index v, Index to) { return (v + to - 1) / to * to; }
+
+struct GemmBlocking {
+  Index mc, kc, nc;
+};
+
+const GemmBlocking& blocking() {
+  static const GemmBlocking blk = [] {
+    GemmBlocking b;
+    b.mc = round_up(std::clamp<Index>(env::get_int("PARSVD_GEMM_MC", 96), kMicroRows, 4096),
+                    kMicroRows);
+    b.kc = std::clamp<Index>(env::get_int("PARSVD_GEMM_KC", 256), 8, 8192);
+    b.nc = round_up(std::clamp<Index>(env::get_int("PARSVD_GEMM_NC", 4032), kMicroCols, 1 << 16),
+                    kMicroCols);
+    return b;
+  }();
+  return blk;
+}
+
+// Pack op(A)(i0:i0+mc, p0:p0+kc) into kMicroRows-wide micro-panels with
+// alpha folded in; short edge panels are zero-padded so the micro-kernel
+// never needs a bounds check on its accumulate loop.
+void pack_a(const OpView& a, Index i0, Index mc, Index p0, Index kc,
+            double alpha, double* buf) {
+  for (Index i = 0; i < mc; i += kMicroRows) {
+    const Index mr = std::min(kMicroRows, mc - i);
+    if (a.stride_row == 1 && mr == kMicroRows && alpha == 1.0) {
+      // op(A) columns are contiguous: straight 8-element copies.
+      const double* src = a.data + (i0 + i) + p0 * a.stride_col;
+      for (Index p = 0; p < kc; ++p) {
+        double* dst = buf + p * kMicroRows;
+        const double* col = src + p * a.stride_col;
+        for (Index r = 0; r < kMicroRows; ++r) dst[r] = col[r];
+      }
+    } else {
+      for (Index p = 0; p < kc; ++p) {
+        double* dst = buf + p * kMicroRows;
+        for (Index r = 0; r < mr; ++r) dst[r] = alpha * a.at(i0 + i + r, p0 + p);
+        for (Index r = mr; r < kMicroRows; ++r) dst[r] = 0.0;
+      }
+    }
+    buf += kc * kMicroRows;
+  }
+}
+
+// Pack op(B)(p0:p0+kc, j0:j0+nc) into kMicroCols-wide micro-panels
+// (zero-padded on the column edge).
+void pack_b(const OpView& b, Index p0, Index kc, Index j0, Index nc,
+            double* buf) {
+  for (Index j = 0; j < nc; j += kMicroCols) {
+    const Index nr = std::min(kMicroCols, nc - j);
+    for (Index p = 0; p < kc; ++p) {
+      double* dst = buf + p * kMicroCols;
+      for (Index c = 0; c < nr; ++c) dst[c] = b.at(p0 + p, j0 + j + c);
+      for (Index c = nr; c < kMicroCols; ++c) dst[c] = 0.0;
+    }
+    buf += kc * kMicroCols;
+  }
+}
+
+// C(mr x nr tile at `c`, leading dim ldc) += A-panel * B-panel over depth
+// kc. The accumulate loop always runs the full tile (padding makes the
+// extra lanes harmless); only the store is edge-bounded.
+#if defined(__GNUC__) || defined(__clang__)
+#define PARSVD_GEMM_VECTOR_EXT 1
+// One packed-A micro-row as a GCC/Clang generic vector. alignment 8 keeps
+// loads unaligned-safe; the compiler lowers to the widest SIMD the target
+// arch offers (one zmm on AVX-512, two ymm on AVX2, four xmm on SSE2).
+// gcc 12 will not promote a double[6][8] accumulator array out of memory,
+// so this formulation is worth ~15x over the portable loop below.
+typedef double MicroRow __attribute__((vector_size(kMicroRows * sizeof(double)),
+                                       aligned(8)));
+
+void micro_kernel(Index kc, const double* a_panel, const double* b_panel,
+                  double* c, Index ldc, Index mr, Index nr) {
+  static_assert(kMicroCols == 6, "accumulator count is hand-unrolled");
+  MicroRow acc0 = {}, acc1 = {}, acc2 = {}, acc3 = {}, acc4 = {}, acc5 = {};
+  for (Index p = 0; p < kc; ++p) {
+    const MicroRow a = *reinterpret_cast<const MicroRow*>(a_panel + p * kMicroRows);
+    const double* b = b_panel + p * kMicroCols;
+    acc0 += a * b[0];
+    acc1 += a * b[1];
+    acc2 += a * b[2];
+    acc3 += a * b[3];
+    acc4 += a * b[4];
+    acc5 += a * b[5];
+  }
+  const MicroRow acc[kMicroCols] = {acc0, acc1, acc2, acc3, acc4, acc5};
+  if (mr == kMicroRows && nr == kMicroCols) {
+    for (Index j = 0; j < kMicroCols; ++j) {
+      double* cj = c + j * ldc;
+      for (Index i = 0; i < kMicroRows; ++i) cj[i] += acc[j][i];
+    }
+  } else {
+    for (Index j = 0; j < nr; ++j) {
+      double* cj = c + j * ldc;
+      for (Index i = 0; i < mr; ++i) cj[i] += acc[j][i];
+    }
+  }
+}
+#else
+void micro_kernel(Index kc, const double* a_panel, const double* b_panel,
+                  double* c, Index ldc, Index mr, Index nr) {
+  double acc[kMicroCols][kMicroRows] = {};
+  for (Index p = 0; p < kc; ++p) {
+    const double* a = a_panel + p * kMicroRows;
+    const double* b = b_panel + p * kMicroCols;
+    for (Index j = 0; j < kMicroCols; ++j) {
+      const double bj = b[j];
+      for (Index i = 0; i < kMicroRows; ++i) acc[j][i] += a[i] * bj;
+    }
+  }
+  if (mr == kMicroRows && nr == kMicroCols) {
+    for (Index j = 0; j < kMicroCols; ++j) {
+      double* cj = c + j * ldc;
+      for (Index i = 0; i < kMicroRows; ++i) cj[i] += acc[j][i];
+    }
+  } else {
+    for (Index j = 0; j < nr; ++j) {
+      double* cj = c + j * ldc;
+      for (Index i = 0; i < mr; ++i) cj[i] += acc[j][i];
+    }
+  }
+}
+#endif  // PARSVD_GEMM_VECTOR_EXT
+
+// Serial packed driver over one contiguous column range of C.
+void gemm_packed_serial(const OpView& va, const OpView& vb, Index m, Index n,
+                        Index k, double alpha, double* c, Index ldc) {
+  const GemmBlocking& blk = blocking();
+  const Index mc_max = std::min(round_up(m, kMicroRows), blk.mc);
+  const Index nc_max = std::min(round_up(n, kMicroCols), blk.nc);
+  const Index kc_max = std::min(k, blk.kc);
+  std::vector<double> apack(static_cast<std::size_t>(mc_max * kc_max));
+  std::vector<double> bpack(static_cast<std::size_t>(nc_max * kc_max));
+
+  for (Index jc = 0; jc < n; jc += blk.nc) {
+    const Index nc = std::min(blk.nc, n - jc);
+    for (Index pc = 0; pc < k; pc += blk.kc) {
+      const Index kc = std::min(blk.kc, k - pc);
+      pack_b(vb, pc, kc, jc, nc, bpack.data());
+      for (Index ic = 0; ic < m; ic += blk.mc) {
+        const Index mc = std::min(blk.mc, m - ic);
+        pack_a(va, ic, mc, pc, kc, alpha, apack.data());
+        for (Index jr = 0; jr < nc; jr += kMicroCols) {
+          const Index nr = std::min(kMicroCols, nc - jr);
+          const double* bp = bpack.data() + (jr / kMicroCols) * kc * kMicroCols;
+          for (Index ir = 0; ir < mc; ir += kMicroRows) {
+            const Index mr = std::min(kMicroRows, mc - ir);
+            const double* ap = apack.data() + (ir / kMicroRows) * kc * kMicroRows;
+            micro_kernel(kc, ap, bp, c + (ic + ir) + (jc + jr) * ldc, ldc, mr, nr);
+          }
+        }
+      }
+    }
+  }
+}
+
+// Unpacked fallback for tiny products where packing/allocation overhead
+// would dominate (streaming updates issue many single-digit-size GEMMs).
+void gemm_small_serial(const OpView& va, const OpView& vb, Index m, Index n,
+                       Index k, double alpha, double* c, Index ldc) {
+  for (Index j = 0; j < n; ++j) {
+    double* cj = c + j * ldc;
+    for (Index p = 0; p < k; ++p) {
+      const double bpj = alpha * vb.at(p, j);
+      if (bpj == 0.0) continue;
+      const double* arow = va.data + p * va.stride_col;
+      if (va.stride_row == 1) {
+        for (Index i = 0; i < m; ++i) cj[i] += bpj * arow[i];
+      } else {
+        for (Index i = 0; i < m; ++i) cj[i] += bpj * arow[i * va.stride_row];
+      }
+    }
+  }
+}
+
+constexpr Index kGemmPackThreshold = 24 * 24 * 24;
+
 }  // namespace
+
+namespace detail {
+
+void gemm_accumulate(Trans trans_a, Trans trans_b, Index m, Index n, Index k,
+                     double alpha, const double* a, Index lda,
+                     const double* b, Index ldb, double* c, Index ldc,
+                     bool allow_parallel) {
+  if (alpha == 0.0 || m == 0 || n == 0 || k == 0) return;
+  const OpView va = make_view(a, lda, trans_a);
+  const OpView vb = make_view(b, ldb, trans_b);
+
+  const Index flops_proxy = m * n * k;
+  if (flops_proxy < kGemmPackThreshold) {
+    gemm_small_serial(va, vb, m, n, k, alpha, c, ldc);
+    return;
+  }
+
+  if (allow_parallel && flops_proxy >= kGemmParallelThreshold && pool_available()) {
+    // Partition over disjoint column panels of C: one chunk per pool slot,
+    // each running the full packed structure on its slice (thread-local
+    // packing buffers, no synchronization on writes).
+    const std::size_t slots = ThreadPool::global().size() + 1;
+    const std::size_t grain =
+        round_up((static_cast<Index>(n) + static_cast<Index>(slots) - 1) /
+                     static_cast<Index>(slots),
+                 kMicroCols);
+    ThreadPool::global().parallel_for(
+        0, static_cast<std::size_t>(n),
+        [&](std::size_t lo, std::size_t hi) {
+          const Index j0 = static_cast<Index>(lo);
+          gemm_packed_serial(va, vb.shifted_cols(j0), m,
+                             static_cast<Index>(hi) - j0, k, alpha,
+                             c + j0 * ldc, ldc);
+        },
+        grain);
+  } else {
+    gemm_packed_serial(va, vb, m, n, k, alpha, c, ldc);
+  }
+}
+
+}  // namespace detail
 
 void gemm(Trans trans_a, Trans trans_b, double alpha, const Matrix& a,
           const Matrix& b, double beta, Matrix& c) {
@@ -110,6 +385,8 @@ void gemm(Trans trans_a, Trans trans_b, double alpha, const Matrix& a,
   const Index n = (trans_b == Trans::No) ? b.cols() : b.rows();
   PARSVD_REQUIRE(k == kb, "gemm: inner dimension mismatch");
   PARSVD_REQUIRE(c.rows() == m && c.cols() == n, "gemm: C has wrong shape");
+  PARSVD_REQUIRE(!c.aliases(a) && !c.aliases(b),
+                 "gemm: C must not alias A or B");
 
   if (beta != 1.0) {
     if (beta == 0.0) {
@@ -120,48 +397,8 @@ void gemm(Trans trans_a, Trans trans_b, double alpha, const Matrix& a,
   }
   if (alpha == 0.0 || m == 0 || n == 0 || k == 0) return;
 
-  const OpView va = make_view(a, trans_a);
-  const OpView vb = make_view(b, trans_b);
-
-  // Work is partitioned over column panels of C (disjoint writes, so the
-  // parallel path needs no synchronization).
-  auto run_panel = [&](Index j0, Index j1) {
-    constexpr Index kBlockK = 128;
-    constexpr Index kBlockI = 128;
-    for (Index jb = j0; jb < j1; ++jb) {
-      double* cj = c.col_data(jb);
-      for (Index k0 = 0; k0 < k; k0 += kBlockK) {
-        const Index k1 = std::min(k, k0 + kBlockK);
-        for (Index i0 = 0; i0 < m; i0 += kBlockI) {
-          const Index i1 = std::min(m, i0 + kBlockI);
-          for (Index kk = k0; kk < k1; ++kk) {
-            const double bkj = alpha * vb.at(kk, jb);
-            if (bkj == 0.0) continue;
-            const double* arow = va.data + kk * va.stride_col;
-            if (va.stride_row == 1) {
-              // op(A) column kk is contiguous: vectorizable axpy.
-              for (Index i = i0; i < i1; ++i) cj[i] += bkj * arow[i];
-            } else {
-              for (Index i = i0; i < i1; ++i) {
-                cj[i] += bkj * arow[i * va.stride_row];
-              }
-            }
-          }
-        }
-      }
-    }
-  };
-
-  const Index flops_proxy = m * n * k;
-  if (flops_proxy >= kGemmParallelThreshold && ThreadPool::global().size() > 0) {
-    ThreadPool::global().parallel_for(
-        0, static_cast<std::size_t>(n),
-        [&](std::size_t lo, std::size_t hi) {
-          run_panel(static_cast<Index>(lo), static_cast<Index>(hi));
-        });
-  } else {
-    run_panel(0, n);
-  }
+  detail::gemm_accumulate(trans_a, trans_b, m, n, k, alpha, a.data(),
+                          a.rows(), b.data(), b.rows(), c.data(), c.rows());
 }
 
 Matrix matmul(const Matrix& a, const Matrix& b, Trans trans_a, Trans trans_b) {
@@ -173,14 +410,40 @@ Matrix matmul(const Matrix& a, const Matrix& b, Trans trans_a, Trans trans_b) {
 }
 
 Matrix gram(const Matrix& a) {
+  const Index m = a.rows();
   const Index n = a.cols();
   Matrix g(n, n);
-  for (Index j = 0; j < n; ++j) {
-    for (Index i = 0; i <= j; ++i) {
-      const double v = dot(a.col_span(i), a.col_span(j));
-      g(i, j) = v;
-      g(j, i) = v;
+  if (n == 0) return g;
+
+  // Column-block width for the upper-triangle sweep: block J computes
+  // G(0:j1, J) = Aᵀ(:, 0:j1)ᵀ-style panel product through the packed
+  // kernel; the strict lower triangle is mirrored afterwards.
+  constexpr Index kGramBlock = 48;
+  const Index nblocks = (n + kGramBlock - 1) / kGramBlock;
+  auto run_blocks = [&](Index b0, Index b1) {
+    for (Index blk = b0; blk < b1; ++blk) {
+      const Index j0 = blk * kGramBlock;
+      const Index j1 = std::min(n, j0 + kGramBlock);
+      detail::gemm_accumulate(Trans::Yes, Trans::No, j1, j1 - j0, m, 1.0,
+                              a.data(), m, a.col_data(j0), m, g.col_data(j0),
+                              n, /*allow_parallel=*/false);
     }
+  };
+
+  // The triangle halves the flops: n*n*m/2 against the GEMM threshold.
+  if (n * n * m / 2 >= kGemmParallelThreshold && pool_available() && nblocks > 1) {
+    ThreadPool::global().parallel_for(
+        0, static_cast<std::size_t>(nblocks),
+        [&](std::size_t lo, std::size_t hi) {
+          run_blocks(static_cast<Index>(lo), static_cast<Index>(hi));
+        },
+        /*grain=*/1);  // later blocks are taller; unit grain load-balances
+  } else {
+    run_blocks(0, nblocks);
+  }
+
+  for (Index j = 0; j < n; ++j) {
+    for (Index i = 0; i < j; ++i) g(j, i) = g(i, j);
   }
   return g;
 }

@@ -1,10 +1,15 @@
 // BLAS-style dense kernels.
 //
 // The substrate the paper gets for free from NumPy/LAPACK. Level-3 matmul
-// is cache-blocked and (above a size threshold) parallelized over the
-// shared-memory thread pool; everything else is straightforward level-1/2
-// code — the library's cost profile is dominated by GEMM and the
-// factorizations built on it.
+// runs through a packed, register-tiled kernel engine (BLIS-style
+// MC/KC/NC cache blocking around an MR x NR micro-kernel) and fans out to
+// the shared-memory thread pool above a size threshold; gram() and gemv()
+// reuse the same engine / partitioning. The library's cost profile is
+// dominated by GEMM and the factorizations built on it.
+//
+// Tuning knobs (read once per process, see DESIGN.md "kernel engine"):
+//   PARSVD_GEMM_MC / PARSVD_GEMM_KC / PARSVD_GEMM_NC — cache block sizes
+//   PARSVD_NUM_THREADS                               — pool width
 #pragma once
 
 #include "linalg/matrix.hpp"
@@ -30,7 +35,9 @@ double nrm2(std::span<const double> x);
 
 // ------------------------------------------------------------- level 2
 
-/// y = alpha * op(A) x + beta * y
+/// y = alpha * op(A) x + beta * y.
+/// Above kGemvParallelThreshold the row (No) / column (Yes) range is
+/// partitioned over the thread pool.
 void gemv(Trans trans_a, double alpha, const Matrix& a,
           std::span<const double> x, double beta, std::span<double> y);
 
@@ -41,7 +48,11 @@ void ger(double alpha, std::span<const double> x, std::span<const double> y,
 // ------------------------------------------------------------- level 3
 
 /// C = alpha * op(A) op(B) + beta * C.
-/// Shapes are validated; C must already have the result shape.
+/// Shapes are validated; C must already have the result shape and must not
+/// alias A or B (checked — an aliased output would be silently corrupted
+/// by the packed kernel's accumulation order).
+/// All four transpose combinations route through the same packed kernel,
+/// so Trans::Yes operands pay no strided-access penalty.
 void gemm(Trans trans_a, Trans trans_b, double alpha, const Matrix& a,
           const Matrix& b, double beta, Matrix& c);
 
@@ -49,11 +60,32 @@ void gemm(Trans trans_a, Trans trans_b, double alpha, const Matrix& a,
 Matrix matmul(const Matrix& a, const Matrix& b,
               Trans trans_a = Trans::No, Trans trans_b = Trans::No);
 
-/// C = AᵀA (n x n Gram matrix), exploiting symmetry.
+/// C = AᵀA (n x n Gram matrix). Only the upper triangle is computed (per
+/// column block, through the packed kernel) and mirrored; column blocks are
+/// partitioned over the thread pool above the GEMM threshold.
 Matrix gram(const Matrix& a);
 
-/// Minimum per-op element count before GEMM fans out to the thread pool;
-/// exposed so tests can force both the serial and parallel paths.
+/// Minimum per-op flop proxy (m*n*k) before GEMM fans out to the thread
+/// pool; exposed so tests can force both the serial and parallel paths.
 inline constexpr Index kGemmParallelThreshold = 64 * 64 * 64;
+
+/// Minimum element count (m*n) before GEMV fans out to the thread pool.
+inline constexpr Index kGemvParallelThreshold = 128 * 1024;
+
+namespace detail {
+
+/// Core packed-kernel entry on raw column-major views:
+///   C(m x n, leading dim ldc) += alpha * op(A)(m x k) * op(B)(k x n)
+/// with op resolved during packing. `lda`/`ldb` are the leading dimensions
+/// of the *stored* (untransposed) operands. Used by gemm/gram and the
+/// blocked-QR trailing updates; callers guarantee C does not alias A or B.
+/// `allow_parallel` gates the pool fan-out (callers already running inside
+/// a parallel_for must pass false).
+void gemm_accumulate(Trans trans_a, Trans trans_b, Index m, Index n, Index k,
+                     double alpha, const double* a, Index lda,
+                     const double* b, Index ldb, double* c, Index ldc,
+                     bool allow_parallel = true);
+
+}  // namespace detail
 
 }  // namespace parsvd

@@ -12,6 +12,7 @@
 
 #include <cassert>
 #include <cstddef>
+#include <functional>
 #include <initializer_list>
 #include <span>
 #include <string>
@@ -114,6 +115,21 @@ class Matrix {
 
   double* data() { return data_.data(); }
   const double* data() const { return data_.data(); }
+
+  /// True when this matrix shares storage with `other` — the cheap O(1)
+  /// overlap guard the level-3 kernels use to reject aliased outputs
+  /// (an aliased C would be silently corrupted by packed accumulation).
+  bool aliases(const Matrix& other) const {
+    if (data_.empty() || other.data_.empty()) return false;
+    const double* lo = data_.data();
+    const double* hi = lo + data_.size();
+    const double* olo = other.data_.data();
+    const double* ohi = olo + other.data_.size();
+    // std::less gives the total pointer order the raw < lacks for
+    // pointers into distinct allocations.
+    const std::less<const double*> lt;
+    return lt(lo, ohi) && lt(olo, hi);
+  }
 
   /// Contiguous view of column j.
   std::span<double> col_span(Index j) {

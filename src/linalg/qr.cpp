@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "linalg/blas.hpp"
+#include "support/env.hpp"
 
 namespace parsvd {
 namespace {
@@ -30,17 +31,96 @@ Reflector make_reflector(double alpha, std::span<double> tail) {
   return {tau, beta};
 }
 
+Index default_qr_block() {
+  static const Index nb = std::clamp<Index>(
+      env::get_int("PARSVD_QR_BLOCK", 32), 1, 1024);
+  return nb;
+}
+
+// In-place C(mrow x nc, leading dim ldc) := (I - V op(T) Vᵀ) C — the
+// compact-WY block reflector, i.e. Qᵀ C for op(T) = Tᵀ (transpose=true)
+// and Q C for op(T) = T.  Both rank-jb products run through the packed
+// GEMM engine; the small jb x jb triangular product stays serial.
+void apply_wy(const Matrix& v, const Matrix& t, bool transpose, double* c,
+              Index ldc, Index nc) {
+  const Index mrow = v.rows();
+  const Index jb = v.cols();
+  if (nc == 0) return;
+
+  // W = Vᵀ C  (jb x nc)
+  Matrix w(jb, nc);
+  detail::gemm_accumulate(Trans::Yes, Trans::No, jb, nc, mrow, 1.0, v.data(),
+                          mrow, c, ldc, w.data(), jb);
+  // W := op(T) W — T is jb x jb upper triangular.
+  if (transpose) {
+    // (Tᵀ W)_i = Σ_{l<=i} T(l,i) W_l; descending i keeps inputs intact.
+    for (Index col = 0; col < nc; ++col) {
+      double* wc = w.col_data(col);
+      for (Index i = jb - 1; i >= 0; --i) {
+        double s = 0.0;
+        for (Index l = 0; l <= i; ++l) s += t(l, i) * wc[l];
+        wc[i] = s;
+      }
+    }
+  } else {
+    // (T W)_i = Σ_{l>=i} T(i,l) W_l; ascending i keeps inputs intact.
+    for (Index col = 0; col < nc; ++col) {
+      double* wc = w.col_data(col);
+      for (Index i = 0; i < jb; ++i) {
+        double s = 0.0;
+        for (Index l = i; l < jb; ++l) s += t(i, l) * wc[l];
+        wc[i] = s;
+      }
+    }
+  }
+  // C -= V W
+  detail::gemm_accumulate(Trans::No, Trans::No, mrow, nc, jb, -1.0, v.data(),
+                          mrow, w.data(), jb, c, ldc);
+}
+
 }  // namespace
 
-HouseholderQr::HouseholderQr(const Matrix& a) : qr_(a) {
+HouseholderQr::HouseholderQr(const Matrix& a) : HouseholderQr(a, 0) {}
+
+HouseholderQr::HouseholderQr(const Matrix& a, Index block) : qr_(a) {
   const Index m = qr_.rows();
   const Index n = qr_.cols();
   PARSVD_REQUIRE(m > 0 && n > 0, "QR of an empty matrix");
   const Index k = std::min(m, n);
   tau_.assign(static_cast<std::size_t>(k), 0.0);
+  block_ = (block > 0) ? block : default_qr_block();
+  if (block_ <= 1) {
+    factor_unblocked();
+  } else {
+    factor_blocked();
+  }
+}
 
-  std::vector<double> work(static_cast<std::size_t>(n));
-  for (Index j = 0; j < k; ++j) {
+void HouseholderQr::factor_unblocked() {
+  factor_panel(0, rank_bound(), qr_.cols());
+}
+
+void HouseholderQr::factor_blocked() {
+  const Index n = qr_.cols();
+  const Index k = rank_bound();
+  for (Index j0 = 0; j0 < k; j0 += block_) {
+    const Index jb = std::min(block_, k - j0);
+    factor_panel(j0, jb, j0 + jb);
+    const Index next = j0 + jb;
+    if (next < n) {
+      // Level-3 trailing update: A(j0:m, next:n) := Q_panelᵀ A(j0:m, next:n).
+      const Matrix v = panel_v(j0, jb);
+      const Matrix t = build_t(j0, jb);
+      apply_wy(v, t, /*transpose=*/true, qr_.col_data(next) + j0, qr_.rows(),
+               n - next);
+    }
+  }
+}
+
+void HouseholderQr::factor_panel(Index j0, Index jb, Index update_to) {
+  const Index m = qr_.rows();
+  for (Index jj = 0; jj < jb; ++jj) {
+    const Index j = j0 + jj;
     double* colj = qr_.col_data(j);
     std::span<double> tail(colj + j + 1, static_cast<std::size_t>(m - j - 1));
     const Reflector h = make_reflector(colj[j], tail);
@@ -48,9 +128,9 @@ HouseholderQr::HouseholderQr(const Matrix& a) : qr_(a) {
     colj[j] = h.beta;
     if (h.tau == 0.0) continue;
 
-    // Apply (I - tau v vᵀ) to the trailing columns j+1..n-1.
+    // Apply (I - tau v vᵀ) to the remaining panel columns.
     // v = (1, qr_(j+1..m-1, j)).
-    for (Index c = j + 1; c < n; ++c) {
+    for (Index c = j + 1; c < update_to; ++c) {
       double* colc = qr_.col_data(c);
       double w = colc[j];
       for (Index i = j + 1; i < m; ++i) w += colj[i] * colc[i];
@@ -59,6 +139,45 @@ HouseholderQr::HouseholderQr(const Matrix& a) : qr_(a) {
       for (Index i = j + 1; i < m; ++i) colc[i] -= w * colj[i];
     }
   }
+}
+
+Matrix HouseholderQr::panel_v(Index j0, Index jb) const {
+  const Index m = qr_.rows();
+  Matrix v(m - j0, jb);
+  for (Index jj = 0; jj < jb; ++jj) {
+    v(jj, jj) = 1.0;
+    const double* col = qr_.col_data(j0 + jj);
+    for (Index r = jj + 1; r < m - j0; ++r) v(r, jj) = col[j0 + r];
+  }
+  return v;
+}
+
+Matrix HouseholderQr::build_t(Index j0, Index jb) const {
+  // LAPACK larft, forward columnwise: growing T so that
+  // H_0 ... H_{i} = I - V(:,0:i+1) T(0:i+1,0:i+1) V(:,0:i+1)ᵀ with
+  // T(0:i, i) = -tau_i T(0:i,0:i) (V(:,0:i)ᵀ v_i), T(i,i) = tau_i.
+  const Index m = qr_.rows();
+  Matrix t(jb, jb);
+  std::vector<double> w(static_cast<std::size_t>(jb));
+  for (Index i = 0; i < jb; ++i) {
+    const double taui = tau_[static_cast<std::size_t>(j0 + i)];
+    if (taui == 0.0) continue;  // identity reflector: column stays zero
+    t(i, i) = taui;
+    const Index row0 = j0 + i;  // row of v_i's implicit unit entry
+    const double* vi = qr_.col_data(j0 + i);
+    for (Index l = 0; l < i; ++l) {
+      const double* vl = qr_.col_data(j0 + l);
+      double s = vl[row0];  // v_l against v_i's implicit 1
+      for (Index r = row0 + 1; r < m; ++r) s += vl[r] * vi[r];
+      w[static_cast<std::size_t>(l)] = s;
+    }
+    for (Index l = 0; l < i; ++l) {
+      double s = 0.0;
+      for (Index p = l; p < i; ++p) s += t(l, p) * w[static_cast<std::size_t>(p)];
+      t(l, i) = -taui * s;
+    }
+  }
+  return t;
 }
 
 Matrix HouseholderQr::r() const {
@@ -83,9 +202,28 @@ Matrix HouseholderQr::thin_q() const {
   return q;
 }
 
+void HouseholderQr::apply_blocked(Matrix& b, bool transpose) const {
+  const Index k = rank_bound();
+  const Index nc = b.cols();
+  const Index nblocks = (k + block_ - 1) / block_;
+  // Qᵀ B applies the reflector blocks forward, Q B in reverse.
+  for (Index bi = 0; bi < nblocks; ++bi) {
+    const Index blk = transpose ? bi : nblocks - 1 - bi;
+    const Index j0 = blk * block_;
+    const Index jb = std::min(block_, k - j0);
+    const Matrix v = panel_v(j0, jb);
+    const Matrix t = build_t(j0, jb);
+    apply_wy(v, t, transpose, b.data() + j0, b.rows(), nc);
+  }
+}
+
 void HouseholderQr::apply_qt(Matrix& b) const {
   const Index m = qr_.rows();
   PARSVD_REQUIRE(b.rows() == m, "apply_qt: row mismatch");
+  if (block_ > 1) {
+    apply_blocked(b, /*transpose=*/true);
+    return;
+  }
   const Index k = rank_bound();
   // Qᵀ = H_{k-1} ... H_0 applied in forward order.
   for (Index j = 0; j < k; ++j) {
@@ -106,6 +244,10 @@ void HouseholderQr::apply_qt(Matrix& b) const {
 void HouseholderQr::apply_q(Matrix& b) const {
   const Index m = qr_.rows();
   PARSVD_REQUIRE(b.rows() == m, "apply_q: row mismatch");
+  if (block_ > 1) {
+    apply_blocked(b, /*transpose=*/false);
+    return;
+  }
   const Index k = rank_bound();
   // Q = H_0 ... H_{k-1} applied in reverse order.
   for (Index j = k - 1; j >= 0; --j) {
@@ -165,7 +307,6 @@ QrResult qr_thin(const Matrix& a) {
 }
 
 Index orthonormalize_mgs2(Matrix& a, double tol) {
-  const Index m = a.rows();
   const Index n = a.cols();
   Index dropped = 0;
   std::vector<double> initial(static_cast<std::size_t>(n));
@@ -190,7 +331,6 @@ Index orthonormalize_mgs2(Matrix& a, double tol) {
       scal(1.0 / norm, colj);
     }
   }
-  (void)m;
   return dropped;
 }
 

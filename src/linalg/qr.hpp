@@ -1,13 +1,18 @@
 // QR factorizations.
 //
 // Householder QR is the workhorse of both the streaming SVD update
-// (Algorithm 1, step 1) and the local stage of TSQR.  We keep the
-// factored (compact WY-free) representation so Qᵀb products don't need an
-// explicit Q, and expose a thin-QR convenience with a deterministic sign
-// convention: diag(R) >= 0.  The PyParSVD code obtains cross-rank
-// consistency by negating NumPy's Q and R ("trick for consistency");
-// fixing the sign inside the factorization achieves the same goal
-// deterministically for every backend and rank count.
+// (Algorithm 1, step 1) and the local stage of TSQR.  The factorization is
+// *blocked*: panels of PARSVD_QR_BLOCK reflectors are factored with the
+// level-2 sweep, accumulated into a compact-WY representation
+// Q = I − V T Vᵀ (LAPACK larft convention, T upper triangular), and the
+// trailing matrix is updated with two level-3 GEMMs through the packed
+// kernel engine — so the factorization, thin_q(), and both apply paths all
+// run at GEMM speed.  We keep the factored representation so Qᵀb products
+// don't need an explicit Q, and expose a thin-QR convenience with a
+// deterministic sign convention: diag(R) >= 0.  The PyParSVD code obtains
+// cross-rank consistency by negating NumPy's Q and R ("trick for
+// consistency"); fixing the sign inside the factorization achieves the
+// same goal deterministically for every backend and rank count.
 #pragma once
 
 #include "linalg/matrix.hpp"
@@ -24,21 +29,32 @@ struct QrResult {
 /// Householder QR in factored form.
 ///
 /// Stores the reflectors in the lower triangle of the working copy plus
-/// the tau coefficients (LAPACK geqrf layout). Cost 2mn^2 - 2n^3/3 flops.
+/// the tau coefficients (LAPACK geqrf layout). Cost 2mn^2 - 2n^3/3 flops,
+/// with the dominant share running as level-3 trailing updates when
+/// min(m,n) exceeds the panel width.
 class HouseholderQr {
  public:
-  /// Factor A (any shape; m >= 1, n >= 1).
+  /// Factor A (any shape; m >= 1, n >= 1) with the default panel width
+  /// (PARSVD_QR_BLOCK, default 32).
   explicit HouseholderQr(const Matrix& a);
+
+  /// Factor with an explicit panel width. `block <= 1` forces the
+  /// unblocked column-at-a-time sweep (the reference path tests compare
+  /// against); `block == 0` selects the default.
+  HouseholderQr(const Matrix& a, Index block);
 
   Index rows() const { return qr_.rows(); }
   Index cols() const { return qr_.cols(); }
   /// Number of reflectors = min(m, n).
   Index rank_bound() const { return static_cast<Index>(tau_.size()); }
+  /// Panel width used for the blocked factor/apply paths.
+  Index block() const { return block_; }
 
   /// R factor, min(m,n) x n, upper triangular/trapezoidal.
   Matrix r() const;
 
-  /// Thin Q, m x min(m,n), orthonormal columns.
+  /// Thin Q, m x min(m,n), orthonormal columns (built via the blocked
+  /// apply path).
   Matrix thin_q() const;
 
   /// In-place B := Qᵀ B (B has m rows).
@@ -52,8 +68,24 @@ class HouseholderQr {
   Vector solve_least_squares(const Vector& b) const;
 
  private:
+  void factor_unblocked();
+  void factor_blocked();
+  /// Level-2 panel sweep over columns [j0, j0+jb); reflections are applied
+  /// to columns [j0, update_to) only.
+  void factor_panel(Index j0, Index jb, Index update_to);
+  /// Explicit V for reflectors [j0, j0+jb): (m-j0) x jb, unit lower
+  /// trapezoidal (implicit ones materialized, upper part zeroed).
+  Matrix panel_v(Index j0, Index jb) const;
+  /// Compact-WY T factor (jb x jb upper triangular, LAPACK larft forward
+  /// columnwise) for reflectors [j0, j0+jb).
+  Matrix build_t(Index j0, Index jb) const;
+  /// B := Q B (forward=false) or Qᵀ B (forward=true) for B with qr_.rows()
+  /// rows, using the blocked WY representation.
+  void apply_blocked(Matrix& b, bool transpose) const;
+
   Matrix qr_;                 // reflectors below diagonal, R on/above
   std::vector<double> tau_;   // reflector scaling coefficients
+  Index block_ = 1;           // panel width used by blocked paths
 };
 
 /// Thin QR with the deterministic sign convention diag(R) >= 0.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <memory>
 
 #include "support/error.hpp"
 
@@ -122,15 +123,40 @@ void ThreadPool::parallel_for(
   if (group.error) std::rethrow_exception(group.error);
 }
 
+namespace {
+
+std::size_t env_thread_count() {
+  if (const char* env = std::getenv("PARSVD_NUM_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return 0;
+}
+
+std::unique_ptr<ThreadPool>& global_pool_slot() {
+  static std::unique_ptr<ThreadPool> slot;
+  return slot;
+}
+
+std::mutex& global_pool_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+}  // namespace
+
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool([] {
-    if (const char* env = std::getenv("PARSVD_NUM_THREADS")) {
-      const long v = std::strtol(env, nullptr, 10);
-      if (v > 0) return static_cast<std::size_t>(v);
-    }
-    return std::size_t{0};
-  }());
-  return pool;
+  std::lock_guard<std::mutex> lock(global_pool_mutex());
+  auto& slot = global_pool_slot();
+  if (!slot) slot = std::make_unique<ThreadPool>(env_thread_count());
+  return *slot;
+}
+
+void ThreadPool::set_global_threads(std::size_t threads) {
+  std::lock_guard<std::mutex> lock(global_pool_mutex());
+  auto& slot = global_pool_slot();
+  slot.reset();  // join the old workers before spawning the new pool
+  slot = std::make_unique<ThreadPool>(threads);
 }
 
 }  // namespace parsvd

@@ -39,6 +39,11 @@ class ThreadPool {
   /// Process-wide pool sized from PARSVD_NUM_THREADS (default: hardware).
   static ThreadPool& global();
 
+  /// Replace the process-wide pool with one of `threads` workers (0 =
+  /// hardware). Used by benchmarks sweeping thread counts; must not be
+  /// called while a parallel_for on the old pool is in flight.
+  static void set_global_threads(std::size_t threads);
+
  private:
   struct Group;
 

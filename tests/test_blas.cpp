@@ -2,6 +2,7 @@
 // combinations, the threaded GEMM path, and a parameterized shape sweep.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <tuple>
 
 #include "linalg/blas.hpp"
@@ -172,6 +173,103 @@ TEST(Blas3, GramMatchesExplicitProduct) {
   for (Index i = 0; i < g.rows(); ++i) {
     for (Index j = 0; j < g.cols(); ++j) {
       EXPECT_DOUBLE_EQ(g(i, j), g(j, i));
+    }
+  }
+}
+
+TEST(Blas3, GramOddSizesMatchExplicitProduct) {
+  // Sizes chosen to straddle the kGramBlock=48 column blocking and hit
+  // ragged final blocks in the packed kernel.
+  const int ms[] = {1, 7, 33};
+  const int ns[] = {1, 5, 47, 49};
+  for (const int m : ms) {
+    for (const int n : ns) {
+      const Matrix a = random_matrix(m, n, 500 + 10 * m + n);
+      const Matrix g = gram(a);
+      SCOPED_TRACE(::testing::Message() << "m=" << m << " n=" << n);
+      expect_matrix_near(g, naive_matmul(a.transposed(), a), 1e-11);
+      for (Index i = 0; i < g.rows(); ++i) {
+        for (Index j = 0; j < g.cols(); ++j) {
+          EXPECT_DOUBLE_EQ(g(i, j), g(j, i));
+        }
+      }
+    }
+  }
+}
+
+TEST(Blas3, GramParallelPathMatchesExplicitProduct) {
+  // n^2 m / 2 = 40^2 * 600 / 2 = 4.8e5 > the 64^3 parallel threshold, so
+  // the column blocks fan out across the pool.
+  const Matrix a = random_matrix(600, 40, 21);
+  const Matrix g = gram(a);
+  expect_matrix_near(g, naive_matmul(a.transposed(), a), 1e-10);
+  for (Index i = 0; i < g.rows(); ++i) {
+    for (Index j = 0; j < g.cols(); ++j) {
+      EXPECT_DOUBLE_EQ(g(i, j), g(j, i));
+    }
+  }
+}
+
+TEST(Blas2, GemvParallelPathMatchesReference) {
+  // m*n = 512*300 = 1.536e5 > kGemvParallelThreshold (1.31e5), so both
+  // orientations take the threaded row/column partitions.
+  const Index m = 512, n = 300;
+  const Matrix a = random_matrix(m, n, 22);
+  Vector x(n), xt(m);
+  Rng rng(23);
+  for (Index j = 0; j < n; ++j) x[j] = rng.gaussian();
+  for (Index i = 0; i < m; ++i) xt[i] = rng.gaussian();
+
+  Vector y(m, 0.25), y_ref = y;
+  for (Index i = 0; i < m; ++i) {
+    double s = 0.0;
+    for (Index j = 0; j < n; ++j) s += a(i, j) * x[j];
+    y_ref[i] = 1.5 * s - 0.5 * y_ref[i];
+  }
+  gemv(Trans::No, 1.5, a, x.span(), -0.5, y.span());
+  testing::expect_vector_near(y, y_ref, 1e-11);
+
+  Vector z(n, 0.0), z_ref(n, 0.0);
+  for (Index j = 0; j < n; ++j) {
+    double s = 0.0;
+    for (Index i = 0; i < m; ++i) s += a(i, j) * xt[i];
+    z_ref[j] = s;
+  }
+  gemv(Trans::Yes, 1.0, a, xt.span(), 0.0, z.span());
+  testing::expect_vector_near(z, z_ref, 1e-11);
+}
+
+TEST(Blas3, GemmRejectsAliasedOutput) {
+  // The packed kernel reads A/B while writing C, so C overlapping either
+  // operand is a hard error rather than silent corruption.
+  Matrix a = random_matrix(4, 4, 24);
+  const Matrix b = random_matrix(4, 4, 25);
+  EXPECT_THROW(gemm(Trans::No, Trans::No, 1.0, a, b, 0.0, a), Error);
+  Matrix b2 = random_matrix(4, 4, 26);
+  EXPECT_THROW(gemm(Trans::No, Trans::No, 1.0, a, b2, 0.0, b2), Error);
+  // Distinct matrices of identical shape must still be accepted.
+  Matrix c(4, 4);
+  EXPECT_NO_THROW(gemm(Trans::No, Trans::No, 1.0, a, b, 0.0, c));
+}
+
+TEST(Blas3, OddAndPrimeSizesAllTransposeCombos) {
+  // Sizes straddling the 8x6 micro-tile and the MC/KC panel edges: every
+  // combination exercises ragged packing in at least one dimension.
+  const int sizes[] = {1, 3, 7, 63, 64, 65, 129};
+  for (const int s : sizes) {
+    for (int combo = 0; combo < 4; ++combo) {
+      const Trans ta = (combo & 1) ? Trans::Yes : Trans::No;
+      const Trans tb = (combo & 2) ? Trans::Yes : Trans::No;
+      // Rectangular m,k,n derived from s so the three extents differ.
+      const Index m = s, k = std::max(1, s - 2), n = std::max(1, s - 1);
+      const Matrix a = (ta == Trans::No) ? random_matrix(m, k, 300 + s + combo)
+                                         : random_matrix(k, m, 300 + s + combo);
+      const Matrix b = (tb == Trans::No) ? random_matrix(k, n, 400 + s + combo)
+                                         : random_matrix(n, k, 400 + s + combo);
+      const Matrix lhs = (ta == Trans::No) ? a : a.transposed();
+      const Matrix rhs = (tb == Trans::No) ? b : b.transposed();
+      SCOPED_TRACE(::testing::Message() << "s=" << s << " combo=" << combo);
+      expect_matrix_near(matmul(a, b, ta, tb), naive_matmul(lhs, rhs), 1e-11);
     }
   }
 }
