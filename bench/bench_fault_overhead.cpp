@@ -1,0 +1,232 @@
+// Zero-fault overhead of the pmpi reliability envelope — the cost a
+// fault-free job pays for having the chaos layer available. Three
+// configurations run the same messaging-heavy workload:
+//
+//   baseline     reliability off (seed behavior: no checksums, no seqs)
+//   reliability  envelope armed: per-message checksum + sequence numbers
+//   armed        a FaultPlan installed whose single event can never fire,
+//                so every post also consults the plan (the configuration a
+//                production job runs under when chaos testing is compiled
+//                in but idle)
+//
+// The PR's acceptance target is < 3% overhead for the armed configuration
+// at realistic payload sizes. The bench records — it does not gate — the
+// timing, because shared CI runners make wall-clock assertions flaky; the
+// smoke mode instead asserts correctness invariants (bit-exact delivery,
+// zero injected faults, zero retransmits).
+//
+// Usage:
+//   bench_fault_overhead            full sweep, writes BENCH_fault.json
+//   bench_fault_overhead --smoke    few rounds, correctness asserts only
+//   bench_fault_overhead --out=F    write the JSON to F
+//   PARSVD_BENCH_OUT=F              same as --out=F
+//
+// JSON schema (schema_version 1):
+//   { bench, schema_version, smoke, ranks, rounds, reps, payload_doubles,
+//     baseline_seconds, reliability_seconds, armed_seconds,
+//     reliability_overhead_pct, armed_overhead_pct,
+//     messages_per_run, armed_faults_injected, armed_retransmits }
+// `*_seconds` is the best of `reps` repetitions (fresh Context each rep,
+// so thread spawn/join cost is charged equally to every configuration).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pmpi/comm.hpp"
+#include "pmpi/fault.hpp"
+#include "support/env.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using parsvd::pmpi::Communicator;
+using parsvd::pmpi::Context;
+using parsvd::pmpi::FaultPlan;
+
+constexpr int kRanks = 4;
+constexpr std::size_t kPayloadDoubles = 256;  // 2 KiB per point-to-point hop
+
+enum class Config { Baseline, Reliability, Armed };
+
+// One round = ring exchange + allreduce + barrier: the mix APMOS/TSQR
+// iterations put on the runtime (point-to-point plus collectives).
+void workload(Communicator& comm, int rounds, double* checksum_out) {
+  const int r = comm.rank();
+  const int p = comm.size();
+  std::vector<double> ring(kPayloadDoubles);
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    ring[i] = static_cast<double>(r) + static_cast<double>(i) * 1e-3;
+  }
+  double acc = 0.0;
+  for (int round = 0; round < rounds; ++round) {
+    comm.send(std::span<const double>(ring), (r + 1) % p, 10 + r);
+    const std::vector<double> got =
+        comm.recv<double>((r + p - 1) % p, 10 + (r + p - 1) % p);
+    acc += got.empty() ? 0.0 : got.front() + got.back();
+    double v[2] = {static_cast<double>(r), 1.0};
+    comm.allreduce(std::span<double>(v, 2), parsvd::pmpi::Op::Sum);
+    acc += v[0] + v[1];
+    comm.barrier();
+  }
+  checksum_out[r] = acc;
+}
+
+struct RunResult {
+  double seconds = 0.0;
+  double checksum[kRanks] = {0.0, 0.0, 0.0, 0.0};
+  std::uint64_t messages = 0;
+  std::uint64_t faults_injected = 0;
+  std::uint64_t retransmits = 0;
+};
+
+RunResult run_once(Config cfg, int rounds) {
+  auto ctx = std::make_shared<Context>(kRanks);
+  switch (cfg) {
+    case Config::Baseline:
+      break;
+    case Config::Reliability:
+      ctx->set_reliability(true);
+      break;
+    case Config::Armed: {
+      // One event at an operation index the workload never reaches:
+      // plan consulted on every post, nothing ever fires.
+      FaultPlan plan;
+      plan.inject(0, std::numeric_limits<std::uint64_t>::max() - 1,
+                  parsvd::pmpi::FaultKind::Drop);
+      ctx->set_fault_plan(std::move(plan));
+      break;
+    }
+  }
+  RunResult cur;
+  parsvd::Stopwatch sw;
+  sw.start();
+  parsvd::pmpi::run_on(ctx, [rounds, &cur](Communicator& comm) {
+    workload(comm, rounds, cur.checksum);
+  });
+  cur.seconds = sw.stop();
+  cur.messages = ctx->total_messages();
+  cur.faults_injected = ctx->faults_injected();
+  cur.retransmits = ctx->retransmits();
+  return cur;
+}
+
+int check_failures(const RunResult& a, const RunResult& b, const char* name) {
+  int failures = 0;
+  for (int r = 0; r < kRanks; ++r) {
+    if (a.checksum[r] != b.checksum[r]) {
+      std::fprintf(stderr, "FAIL: %s rank %d checksum %.17g != %.17g\n", name,
+                   r, a.checksum[r], b.checksum[r]);
+      ++failures;
+    }
+  }
+  return failures;
+}
+
+double overhead_pct(double base, double other) {
+  return base > 0.0 ? (other / base - 1.0) * 100.0 : 0.0;
+}
+
+bool write_json(const std::string& path, bool smoke, int rounds, int reps,
+                const RunResult& base, const RunResult& rel,
+                const RunResult& armed) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"fault_overhead\",\n");
+  std::fprintf(f, "  \"schema_version\": 1,\n");
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f, "  \"ranks\": %d,\n", kRanks);
+  std::fprintf(f, "  \"rounds\": %d,\n", rounds);
+  std::fprintf(f, "  \"reps\": %d,\n", reps);
+  std::fprintf(f, "  \"payload_doubles\": %zu,\n", kPayloadDoubles);
+  std::fprintf(f, "  \"baseline_seconds\": %.6e,\n", base.seconds);
+  std::fprintf(f, "  \"reliability_seconds\": %.6e,\n", rel.seconds);
+  std::fprintf(f, "  \"armed_seconds\": %.6e,\n", armed.seconds);
+  std::fprintf(f, "  \"reliability_overhead_pct\": %.3f,\n",
+               overhead_pct(base.seconds, rel.seconds));
+  std::fprintf(f, "  \"armed_overhead_pct\": %.3f,\n",
+               overhead_pct(base.seconds, armed.seconds));
+  std::fprintf(f, "  \"messages_per_run\": %llu,\n",
+               static_cast<unsigned long long>(base.messages));
+  std::fprintf(f, "  \"armed_faults_injected\": %llu,\n",
+               static_cast<unsigned long long>(armed.faults_injected));
+  std::fprintf(f, "  \"armed_retransmits\": %llu\n",
+               static_cast<unsigned long long>(armed.retransmits));
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out =
+      parsvd::env::get_string("PARSVD_BENCH_OUT", "BENCH_fault.json");
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out = argv[i] + 6;
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out=PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const int rounds = smoke ? 50 : 2000;
+  const int reps = smoke ? 2 : 9;
+
+  // Interleave the configurations across repetitions (A B C, A B C, ...)
+  // and keep the per-config best: machine-load spikes on a shared runner
+  // then hit every configuration equally instead of biasing one block.
+  RunResult base, rel, armed;
+  base.seconds = rel.seconds = armed.seconds =
+      std::numeric_limits<double>::max();
+  for (int rep = 0; rep < reps; ++rep) {
+    RunResult b = run_once(Config::Baseline, rounds);
+    if (b.seconds < base.seconds) base = b;
+    RunResult r = run_once(Config::Reliability, rounds);
+    if (r.seconds < rel.seconds) rel = r;
+    RunResult a = run_once(Config::Armed, rounds);
+    if (a.seconds < armed.seconds) armed = a;
+  }
+
+  int failures = 0;
+  failures += check_failures(base, rel, "reliability");
+  failures += check_failures(base, armed, "armed");
+  if (armed.faults_injected != 0) {
+    std::fprintf(stderr, "FAIL: armed run injected %llu faults\n",
+                 static_cast<unsigned long long>(armed.faults_injected));
+    ++failures;
+  }
+  if (armed.retransmits != 0) {
+    std::fprintf(stderr, "FAIL: armed run performed %llu retransmits\n",
+                 static_cast<unsigned long long>(armed.retransmits));
+    ++failures;
+  }
+  if (base.messages == 0) {
+    std::fprintf(stderr, "FAIL: workload sent no messages\n");
+    ++failures;
+  }
+
+  std::printf(
+      "fault overhead (%d ranks, %d rounds, best of %d): baseline %.3f ms, "
+      "reliability %.3f ms (%+.2f%%), armed %.3f ms (%+.2f%%)\n",
+      kRanks, rounds, reps, base.seconds * 1e3, rel.seconds * 1e3,
+      overhead_pct(base.seconds, rel.seconds), armed.seconds * 1e3,
+      overhead_pct(base.seconds, armed.seconds));
+
+  const bool wrote = write_json(out, smoke, rounds, reps, base, rel, armed);
+  return (failures == 0 && wrote) ? 0 : 1;
+}

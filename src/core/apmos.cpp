@@ -1,6 +1,9 @@
 #include "core/apmos.hpp"
 
 #include <algorithm>
+#include <cstring>
+#include <optional>
+#include <span>
 
 #include "core/randomized.hpp"
 #include "linalg/blas.hpp"
@@ -33,14 +36,8 @@ ApmosResult apmos_svd(pmpi::Communicator& comm, const Matrix& a_local,
     scal(slocal[j], wlocal.col_span(j));
   }
 
-  // Stage 3: gather W at rank 0 (column-wise concatenation).
-  std::vector<Matrix> blocks = comm.gather_matrices(wlocal, 0);
-
-  // Stages 4-5: root SVD of W, truncation to r2.
-  Matrix x;
-  Vector lambda;
-  if (comm.is_root()) {
-    const Matrix w = hcat(blocks);
+  // Root SVD of the assembled W with truncation to r2 (stages 4-5).
+  const auto root_svd = [&](const Matrix& w) {
     SvdResult f;
     if (opts.low_rank) {
       RandomizedOptions ropts = opts.randomized;
@@ -60,15 +57,77 @@ ApmosResult apmos_svd(pmpi::Communicator& comm, const Matrix& a_local,
     // Deterministic mode orientation so distributed results are
     // comparable across rank counts and against serial references.
     fix_svd_signs(f.u, f.v);
-    x = std::move(f.u);
-    lambda = std::move(f.s);
-  }
-  comm.bcast_matrix(x, 0);
-  {
-    std::vector<double> lam(lambda.begin(), lambda.end());
-    comm.bcast(lam, 0);
-    lambda = Vector(static_cast<Index>(lam.size()));
-    std::copy(lam.begin(), lam.end(), lambda.begin());
+    return f;
+  };
+
+  Matrix x;
+  Vector lambda;
+  FaultReport report;
+  if (opts.fault_tolerant) {
+    // Stage 3, degraded-capable: one atomic payload per rank —
+    // [rows, ‖A^i‖_F²] header + packed W^i — so a contribution that
+    // arrives always carries its own metadata.
+    const double frob = a_local.norm_fro();
+    const double meta[2] = {static_cast<double>(a_local.rows()), frob * frob};
+    std::vector<std::byte> payload(sizeof(meta));
+    std::memcpy(payload.data(), meta, sizeof(meta));
+    const std::vector<std::byte> packed = pmpi::pack_matrix(wlocal);
+    payload.insert(payload.end(), packed.begin(), packed.end());
+    const auto raw = comm.gather_bytes_ft(payload, 0);
+
+    if (comm.is_root()) {
+      std::vector<Matrix> blocks;
+      blocks.reserve(raw.size());
+      for (int src = 0; src < comm.size(); ++src) {
+        const auto& c = raw[static_cast<std::size_t>(src)];
+        if (!c) {
+          report.dead_ranks.push_back(src);
+          continue;
+        }
+        PARSVD_REQUIRE(c->size() > sizeof(meta), "apmos: short ft payload");
+        double hdr[2];
+        std::memcpy(hdr, c->data(), sizeof(hdr));
+        report.surviving_rows += static_cast<Index>(hdr[0]);
+        blocks.push_back(pmpi::unpack_matrix(
+            std::span<const std::byte>(*c).subspan(sizeof(meta))));
+      }
+      report.degraded = !report.dead_ranks.empty();
+      // A rank that died before its gather post never reported its
+      // extent or energy, so the lost mass is unknowable here and the
+      // Weyl-type bound degrades to the vacuous worst case.
+      report.extent_known = !report.degraded;
+      report.coverage = report.degraded ? 0.0 : 1.0;
+      report.accuracy_bound = report.degraded ? 1.0 : 0.0;
+
+      SvdResult f = root_svd(hcat(blocks));
+      x = std::move(f.u);
+      lambda = std::move(f.s);
+    }
+    comm.bcast_matrix_ft(x, 0);
+    {
+      std::vector<double> lam(lambda.begin(), lambda.end());
+      comm.bcast_doubles_ft(lam, 0);
+      lambda = Vector(static_cast<Index>(lam.size()));
+      std::copy(lam.begin(), lam.end(), lambda.begin());
+    }
+    std::vector<double> flat = report.to_doubles();
+    comm.bcast_doubles_ft(flat, 0);
+    report = FaultReport::from_doubles(flat);
+  } else {
+    // Stage 3: gather W at rank 0 (column-wise concatenation).
+    std::vector<Matrix> blocks = comm.gather_matrices(wlocal, 0);
+    if (comm.is_root()) {
+      SvdResult f = root_svd(hcat(blocks));
+      x = std::move(f.u);
+      lambda = std::move(f.s);
+    }
+    comm.bcast_matrix(x, 0);
+    {
+      std::vector<double> lam(lambda.begin(), lambda.end());
+      comm.bcast(lam, 0);
+      lambda = Vector(static_cast<Index>(lam.size()));
+      std::copy(lam.begin(), lam.end(), lambda.begin());
+    }
   }
 
   // Stage 6: lift the global right-space modes through the local block:
@@ -76,6 +135,7 @@ ApmosResult apmos_svd(pmpi::Communicator& comm, const Matrix& a_local,
   ApmosResult out;
   out.u_local = matmul(a_local, x);
   out.s = lambda;
+  out.report = std::move(report);
   const double cutoff = (lambda.size() > 0 ? lambda[0] : 0.0) * 1e-14;
   for (Index j = 0; j < out.u_local.cols(); ++j) {
     if (lambda[j] > cutoff && lambda[j] > 0.0) {

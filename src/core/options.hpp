@@ -6,11 +6,48 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "linalg/matrix.hpp"
 #include "linalg/svd.hpp"
 
 namespace parsvd {
+
+/// Outcome metadata for a fault-tolerant (degraded-completion) run.
+///
+/// When ranks die mid-computation the survivors finish the SVD on the
+/// rows they still hold. The result is exact for the surviving
+/// partitions of the row space; what is lost is the dead ranks' row
+/// blocks. By Weyl's inequality the singular values of the full matrix
+/// and of the survivor submatrix differ by at most ‖A_lost‖₂ ≤
+/// ‖A_lost‖_F, so with coverage = Σ_alive ‖A_i‖_F² / Σ_all ‖A_i‖_F²
+/// the relative perturbation is bounded by √(1 − coverage)·‖A‖_F
+/// (cf. Iwen & Ong, arXiv:1601.07010; Li et al., arXiv:1612.08709).
+struct FaultReport {
+  /// True when at least one rank's contribution was lost.
+  bool degraded = false;
+  /// Ranks excluded from the result (dead at the deciding collective).
+  std::vector<int> dead_ranks;
+  /// Rows of the global matrix still represented in the result.
+  Index surviving_rows = 0;
+  /// Rows owned by dead ranks (0 when extent_known is false).
+  Index lost_rows = 0;
+  /// False when a rank died before ever reporting its row extent, so
+  /// lost_rows is a lower bound rather than exact.
+  bool extent_known = true;
+  /// Fraction of the total Frobenius energy Σ‖A_i‖_F² retained by the
+  /// survivors; 1.0 for a clean run.
+  double coverage = 1.0;
+  /// Weyl-type bound √(1 − coverage) on the relative (‖A‖_F-scaled)
+  /// singular-value perturbation caused by the lost rows.
+  double accuracy_bound = 0.0;
+
+  /// Flat double encoding so the report can ride bcast_doubles_ft from
+  /// root to the survivors: [degraded, ndead, dead..., surviving_rows,
+  /// lost_rows, extent_known, coverage, accuracy_bound].
+  std::vector<double> to_doubles() const;
+  static FaultReport from_doubles(const std::vector<double>& flat);
+};
 
 /// Randomized range-finder configuration (Halko et al. style).
 struct RandomizedOptions {
@@ -46,6 +83,10 @@ struct StreamingOptions {
   /// the √w-scaled (Euclidean-orthonormal) vectors and physical_modes()
   /// undoes the scaling, yielding vectors orthonormal under ⟨·,·⟩_w.
   Vector row_weights{};
+  /// Use fault-tolerant collectives: ranks that die mid-run are excluded
+  /// and the SVD completes on the survivors, with the loss quantified in
+  /// a FaultReport. Adds one ft-gather per update; off by default.
+  bool fault_tolerant = false;
 
   void validate() const;
 };
@@ -63,6 +104,8 @@ struct ApmosOptions {
   /// Eigensolver for the MethodOfSnapshots local stage (the paper's
   /// suggested path when M_i >> N; Tridiagonal is the fast choice).
   EighMethod eigh_method = EighMethod::Jacobi;
+  /// Use fault-tolerant collectives (see StreamingOptions::fault_tolerant).
+  bool fault_tolerant = false;
 
   void validate() const;
 };

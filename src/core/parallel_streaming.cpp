@@ -1,6 +1,11 @@
 #include "core/parallel_streaming.hpp"
 
 #include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <optional>
+#include <span>
 
 #include "core/randomized.hpp"
 #include "linalg/blas.hpp"
@@ -29,6 +34,19 @@ void ParallelStreamingSVD::initialize(const Matrix& batch) {
     if (r < comm_.rank()) row_offset_ += all_rows[static_cast<std::size_t>(r)];
     global_rows_ += all_rows[static_cast<std::size_t>(r)];
   }
+  rows_by_rank_ = all_rows;
+
+  const Matrix weighted = apply_row_weights(batch);
+
+  // Fault-tolerant bookkeeping: record every rank's row extent (above)
+  // and initial Frobenius energy while everyone is still alive, so a
+  // later death yields exact lost_rows and a sharp coverage bound.
+  // initialize() itself is a healthy collective — all ranks must
+  // survive it; deaths are tolerated from the first streaming update on.
+  if (opts_.fault_tolerant) {
+    const double frob = weighted.norm_fro();
+    energy_by_rank_ = comm_.allgather_double(frob * frob);
+  }
 
   // Listing 2: initialization runs APMOS with r1 = r2 = K (the parallel
   // SVD of the first batch), honoring the low-rank switch at the root.
@@ -39,7 +57,7 @@ void ParallelStreamingSVD::initialize(const Matrix& batch) {
   aopts.low_rank = opts_.low_rank;
   aopts.randomized = opts_.randomized;
   aopts.method = opts_.method;
-  ApmosResult init = apmos_svd(comm_, apply_row_weights(batch), aopts, &rng_);
+  ApmosResult init = apmos_svd(comm_, weighted, aopts, &rng_);
 
   u_local_ = std::move(init.u_local);
   singular_values_ = std::move(init.s);
@@ -67,9 +85,14 @@ void ParallelStreamingSVD::root_svd_and_broadcast(const Matrix& r,
     u_small = std::move(f.u);
     s = std::move(f.s);
   }
-  comm_.bcast_matrix(u_small, 0);
   std::vector<double> sv(s.begin(), s.end());
-  comm_.bcast(sv, 0);
+  if (opts_.fault_tolerant) {
+    comm_.bcast_matrix_ft(u_small, 0);
+    comm_.bcast_doubles_ft(sv, 0);
+  } else {
+    comm_.bcast_matrix(u_small, 0);
+    comm_.bcast(sv, 0);
+  }
   s = Vector(static_cast<Index>(sv.size()));
   std::copy(sv.begin(), sv.end(), s.begin());
 }
@@ -82,14 +105,37 @@ void ParallelStreamingSVD::incorporate_data(const Matrix& batch) {
   ++iteration_;
   snapshots_seen_ += batch.cols();
 
+  const Matrix weighted = apply_row_weights(batch);
+
+  // Fault-tolerant mode: fold this batch's energy into root's per-rank
+  // ledger before the factorization touches the network, so a rank that
+  // dies later in this update counts its in-flight batch as lost (the
+  // conservative direction for the coverage bound).
+  if (opts_.fault_tolerant) {
+    const double frob = weighted.norm_fro();
+    const double energy = frob * frob;
+    std::array<std::byte, sizeof(double)> buf;
+    std::memcpy(buf.data(), &energy, sizeof(double));
+    const auto raw = comm_.gather_bytes_ft(buf, 0);
+    if (comm_.is_root()) {
+      for (int src = 0; src < comm_.size(); ++src) {
+        const auto& c = raw[static_cast<std::size_t>(src)];
+        if (!c || c->size() != sizeof(double)) continue;
+        double e = 0.0;
+        std::memcpy(&e, c->data(), sizeof(double));
+        energy_by_rank_[static_cast<std::size_t>(src)] += e;
+      }
+    }
+  }
+
   // Step 1 (distributed): concatenate the discounted local factorization
   // with the new local snapshots, then TSQR across ranks.
   Matrix ll = u_local_;
   for (Index j = 0; j < ll.cols(); ++j) {
     scal(opts_.forget_factor * singular_values_[j], ll.col_span(j));
   }
-  ll = hcat(ll, apply_row_weights(batch));
-  TsqrResult qr = tsqr(comm_, ll, tsqr_variant_);
+  ll = hcat(ll, weighted);
+  TsqrResult qr = tsqr(comm_, ll, tsqr_variant_, opts_.fault_tolerant);
 
   // Step 2 (small, at root): SVD of the global R, truncated to K.
   // PyParSVD's listing only truncates on the low-rank path, which lets
@@ -103,15 +149,63 @@ void ParallelStreamingSVD::incorporate_data(const Matrix& batch) {
   u_local_ = matmul(qr.q_local, u_small);
   singular_values_ = std::move(s);
   gather_modes();
+  if (opts_.fault_tolerant) update_fault_report();
 }
 
 void ParallelStreamingSVD::gather_modes() {
+  if (opts_.fault_tolerant) {
+    std::vector<std::optional<Matrix>> blocks =
+        comm_.gather_matrices_ft(u_local_, 0);
+    if (comm_.is_root()) {
+      std::vector<Matrix> alive;
+      alive.reserve(blocks.size());
+      for (auto& b : blocks) {
+        if (b) alive.push_back(std::move(*b));
+      }
+      modes_ = vcat(alive);
+    } else {
+      modes_ = Matrix{};
+    }
+    return;
+  }
   std::vector<Matrix> blocks = comm_.gather_matrices(u_local_, 0);
   if (comm_.is_root()) {
     modes_ = vcat(blocks);
   } else {
     modes_ = Matrix{};
   }
+}
+
+void ParallelStreamingSVD::update_fault_report() {
+  std::vector<double> flat;
+  if (comm_.is_root()) {
+    FaultReport rep;
+    rep.dead_ranks = comm_.context().dead_ranks();
+    rep.degraded = !rep.dead_ranks.empty();
+    rep.extent_known = true;
+    std::vector<bool> dead(static_cast<std::size_t>(comm_.size()), false);
+    for (int d : rep.dead_ranks) dead[static_cast<std::size_t>(d)] = true;
+    double lost_energy = 0.0;
+    double total_energy = 0.0;
+    Index lost_rows = 0;
+    for (int r = 0; r < comm_.size(); ++r) {
+      const auto i = static_cast<std::size_t>(r);
+      total_energy += energy_by_rank_[i];
+      if (dead[i]) {
+        lost_energy += energy_by_rank_[i];
+        lost_rows += rows_by_rank_[i];
+      }
+    }
+    rep.lost_rows = lost_rows;
+    rep.surviving_rows = global_rows_ - lost_rows;
+    rep.coverage = total_energy > 0.0
+                       ? (total_energy - lost_energy) / total_energy
+                       : 1.0;
+    rep.accuracy_bound = std::sqrt(std::max(0.0, 1.0 - rep.coverage));
+    flat = rep.to_doubles();
+  }
+  comm_.bcast_doubles_ft(flat, 0);
+  report_ = FaultReport::from_doubles(flat);
 }
 
 Matrix ParallelStreamingSVD::project(const Matrix& batch) {
@@ -121,9 +215,12 @@ Matrix ParallelStreamingSVD::project(const Matrix& batch) {
   // Local contribution of the W-inner product, summed across ranks.
   Matrix local =
       matmul(u_local_, apply_row_weights(batch), Trans::Yes, Trans::No);
-  comm_.allreduce(
-      std::span<double>(local.data(), static_cast<std::size_t>(local.size())),
-      pmpi::Op::Sum);
+  std::span<double> flat(local.data(), static_cast<std::size_t>(local.size()));
+  if (opts_.fault_tolerant) {
+    comm_.allreduce_sum_ft(flat, 0);
+  } else {
+    comm_.allreduce(flat, pmpi::Op::Sum);
+  }
   return local;
 }
 
@@ -137,6 +234,17 @@ Matrix ParallelStreamingSVD::reconstruct(const Matrix& coefficients) const {
 Matrix ParallelStreamingSVD::physical_modes() {
   // Each rank unscales its own rows (it holds its own weights), then the
   // physical blocks are gathered at root.
+  if (opts_.fault_tolerant) {
+    std::vector<std::optional<Matrix>> blocks =
+        comm_.gather_matrices_ft(remove_row_weights(u_local_), 0);
+    if (!comm_.is_root()) return Matrix{};
+    std::vector<Matrix> alive;
+    alive.reserve(blocks.size());
+    for (auto& b : blocks) {
+      if (b) alive.push_back(std::move(*b));
+    }
+    return vcat(alive);
+  }
   std::vector<Matrix> blocks =
       comm_.gather_matrices(remove_row_weights(u_local_), 0);
   if (!comm_.is_root()) return Matrix{};

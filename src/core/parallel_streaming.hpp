@@ -48,6 +48,13 @@ class ParallelStreamingSVD final : public SvdBase {
   /// Global row count across all ranks.
   Index global_rows() const { return global_rows_; }
 
+  /// Loss metadata when opts.fault_tolerant is set and ranks died during
+  /// a streaming update; default-clean otherwise. Because initialize()
+  /// records every rank's row extent and Frobenius energy up front, the
+  /// report carries exact lost_rows and a sharp √(1 − coverage) bound —
+  /// unlike one-shot APMOS. Updated by each incorporate_data() call.
+  const FaultReport& fault_report() const { return report_; }
+
  private:
   /// Root SVD of the TSQR R factor + broadcast of (Ũ, Σ̃) — the "small
   /// operation" of Levy-Lindenbaum step 2 in the distributed setting.
@@ -56,6 +63,12 @@ class ParallelStreamingSVD final : public SvdBase {
   /// Re-gather the global modes at root into SvdBase::modes_.
   void gather_modes();
 
+  /// Fault-tolerant mode only: root accumulates each rank's streamed
+  /// Frobenius energy (for the coverage bound) from the per-batch
+  /// ft-gathers; broadcast of the resulting report keeps survivors
+  /// consistent.
+  void update_fault_report();
+
   pmpi::Communicator& comm_;
   TsqrVariant tsqr_variant_;
   Matrix u_local_;        // local rows of the global modes, M_i x K
@@ -63,6 +76,9 @@ class ParallelStreamingSVD final : public SvdBase {
   Index num_rows_ = 0;    // this rank's row count (fixed after init)
   Index row_offset_ = 0;
   Index global_rows_ = 0;
+  std::vector<Index> rows_by_rank_;     // recorded at initialize()
+  std::vector<double> energy_by_rank_;  // Σ‖batchᵢ‖_F² per rank (root, ft)
+  FaultReport report_;
 };
 
 }  // namespace parsvd

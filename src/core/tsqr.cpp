@@ -1,9 +1,11 @@
 #include "core/tsqr.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "linalg/blas.hpp"
 #include "linalg/qr.hpp"
+#include "support/log.hpp"
 
 namespace parsvd {
 namespace {
@@ -19,7 +21,7 @@ TsqrResult tsqr_direct(pmpi::Communicator& comm, const Matrix& a_local) {
   // Stage 1: local thin QR with the deterministic sign convention.
   QrResult local = qr_thin(a_local);
   if (p == 1) {
-    return {std::move(local.q), std::move(local.r)};
+    return {std::move(local.q), std::move(local.r), {}};
   }
 
   // Stage 2: gather R factors at root and factor the stack.
@@ -45,12 +47,70 @@ TsqrResult tsqr_direct(pmpi::Communicator& comm, const Matrix& a_local) {
       }
     }
     comm.bcast_matrix(r_final, 0);
-    return {matmul(local.q, my_slice), std::move(r_final)};
+    return {matmul(local.q, my_slice), std::move(r_final), {}};
   }
 
   Matrix my_slice = comm.recv_matrix(0, kTagTreeDown);
   comm.bcast_matrix(r_final, 0);
-  return {matmul(local.q, my_slice), std::move(r_final)};
+  return {matmul(local.q, my_slice), std::move(r_final), {}};
+}
+
+// Fault-tolerant direct TSQR: dead ranks' R factors are excluded from
+// the stack and the factorization completes on the survivors' rows.
+TsqrResult tsqr_direct_ft(pmpi::Communicator& comm, const Matrix& a_local) {
+  const int p = comm.size();
+
+  QrResult local = qr_thin(a_local);
+  if (p == 1) {
+    return {std::move(local.q), std::move(local.r), {}};
+  }
+
+  std::vector<std::optional<Matrix>> r_blocks =
+      comm.gather_matrices_ft(local.r, 0);
+
+  Matrix r_final;
+  std::vector<double> excluded;  // rides bcast_doubles_ft as doubles
+  Matrix my_slice;
+  if (comm.is_root()) {
+    std::vector<Matrix> surviving;
+    surviving.reserve(r_blocks.size());
+    for (int src = 0; src < p; ++src) {
+      const auto& block = r_blocks[static_cast<std::size_t>(src)];
+      if (block) {
+        surviving.push_back(*block);
+      } else {
+        excluded.push_back(static_cast<double>(src));
+      }
+    }
+    QrResult root = qr_thin(vcat(surviving));
+    r_final = std::move(root.r);
+
+    // Scatter row-slices of the stack's Q to the surviving ranks. A
+    // rank dying after its gather contribution just leaves the posted
+    // slice unconsumed in its mailbox.
+    Index offset = 0;
+    for (int dst = 0; dst < p; ++dst) {
+      const auto& block = r_blocks[static_cast<std::size_t>(dst)];
+      if (!block) continue;
+      const Index nrows = block->rows();
+      Matrix slice = root.q.block(offset, 0, nrows, root.q.cols());
+      offset += nrows;
+      if (dst == 0) {
+        my_slice = std::move(slice);
+      } else {
+        comm.send_matrix(slice, dst, kTagTreeDown);
+      }
+    }
+  } else {
+    my_slice = comm.recv_matrix(0, kTagTreeDown);
+  }
+  comm.bcast_matrix_ft(r_final, 0);
+  comm.bcast_doubles_ft(excluded, 0);
+
+  TsqrResult out{matmul(local.q, my_slice), std::move(r_final), {}};
+  out.excluded_ranks.reserve(excluded.size());
+  for (double r : excluded) out.excluded_ranks.push_back(static_cast<int>(r));
+  return out;
 }
 
 TsqrResult tsqr_tree(pmpi::Communicator& comm, const Matrix& a_local) {
@@ -59,7 +119,7 @@ TsqrResult tsqr_tree(pmpi::Communicator& comm, const Matrix& a_local) {
 
   QrResult local = qr_thin(a_local);
   if (p == 1) {
-    return {std::move(local.q), std::move(local.r)};
+    return {std::move(local.q), std::move(local.r), {}};
   }
 
   // Upward sweep: pairwise R combination. A rank is "active" at level l
@@ -113,14 +173,21 @@ TsqrResult tsqr_tree(pmpi::Communicator& comm, const Matrix& a_local) {
     t = matmul(q_top, t);
   }
   comm.bcast_matrix(r_final, 0);
-  return {matmul(local.q, t), std::move(r_final)};
+  return {matmul(local.q, t), std::move(r_final), {}};
 }
 
 }  // namespace
 
 TsqrResult tsqr(pmpi::Communicator& comm, const Matrix& a_local,
-                TsqrVariant variant) {
+                TsqrVariant variant, bool fault_tolerant) {
   PARSVD_REQUIRE(!a_local.empty(), "tsqr of an empty local block");
+  if (fault_tolerant) {
+    if (variant == TsqrVariant::Tree) {
+      log::debug("tsqr: Tree variant has no exclusion path; using Direct "
+                 "for the fault-tolerant call");
+    }
+    return tsqr_direct_ft(comm, a_local);
+  }
   switch (variant) {
     case TsqrVariant::Direct:
       return tsqr_direct(comm, a_local);

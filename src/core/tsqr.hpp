@@ -33,12 +33,23 @@ struct TsqrResult {
   Matrix q_local;
   /// Global R factor, identical on every rank.
   Matrix r;
+  /// Ranks whose R factor was lost to a failure (fault-tolerant mode
+  /// only; always empty otherwise). Their rows are absent from R.
+  std::vector<int> excluded_ranks;
 };
 
 /// Distributed thin QR of the implicitly row-stacked matrix
 /// A = [a_local⁰; a_local¹; ...]. Collective: every rank must call with
 /// the same column count and variant.
+///
+/// With `fault_tolerant` set the gather/broadcast legs use the
+/// ft-collectives: ranks that die mid-call are excluded and the
+/// factorization completes on the survivors' rows (excluded_ranks lists
+/// the casualties). Only the Direct variant supports exclusion — Tree
+/// falls back to Direct in fault-tolerant mode. Rank 0's death remains
+/// unrecoverable (it owns the stacked factorization).
 TsqrResult tsqr(pmpi::Communicator& comm, const Matrix& a_local,
-                TsqrVariant variant = TsqrVariant::Direct);
+                TsqrVariant variant = TsqrVariant::Direct,
+                bool fault_tolerant = false);
 
 }  // namespace parsvd

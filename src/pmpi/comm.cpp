@@ -1,56 +1,399 @@
 #include "pmpi/comm.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <string>
 #include <thread>
 
+#include "support/env.hpp"
 #include "support/log.hpp"
+#include "support/timer.hpp"
 
 namespace parsvd::pmpi {
 
 // ---------------------------------------------------------------- Context
 
-Context::Context(int size) : size_(size) {
+Context::Context(int size)
+    : size_(size),
+      op_counters_(static_cast<std::size_t>(std::max(size, 1))),
+      dead_(static_cast<std::size_t>(std::max(size, 1))) {
   PARSVD_REQUIRE(size >= 1, "communicator size must be >= 1");
   boxes_.reserve(static_cast<std::size_t>(size));
   for (int i = 0; i < size; ++i) boxes_.push_back(std::make_unique<Mailbox>());
   bytes_by_rank_.assign(static_cast<std::size_t>(size), 0);
+  wait_timeout_ = std::chrono::milliseconds(
+      std::max<std::int64_t>(0, env::get_int("PARSVD_FAULT_TIMEOUT_MS", 0)));
+  max_retries_ = static_cast<int>(
+      std::max<std::int64_t>(0, env::get_int("PARSVD_FAULT_RETRIES", 3)));
+  const std::int64_t max_mb = env::get_int("PARSVD_MAX_PAYLOAD_MB", 0);
+  if (max_mb > 0) max_payload_ = static_cast<std::uint64_t>(max_mb) << 20;
+  FaultPlan env_plan = FaultPlan::from_env();
+  if (!env_plan.empty()) set_fault_plan(std::move(env_plan));
+}
+
+Context::~Context() {
+  watchdog_stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(watchdog_mu_);
+    watchdog_cv_.notify_all();
+  }
+  if (watchdog_.joinable()) watchdog_.join();
+}
+
+void Context::ensure_watchdog() {
+  if (watchdog_started_.load(std::memory_order_acquire)) return;
+  // Called with a mailbox mutex held; safe because the watchdog never
+  // holds watchdog_mu_ while taking a mailbox mutex.
+  std::lock_guard<std::mutex> lock(watchdog_mu_);
+  if (watchdog_started_.load(std::memory_order_relaxed)) return;
+  watchdog_ = std::thread([this] { watchdog_loop(); });
+  watchdog_started_.store(true, std::memory_order_release);
+}
+
+void Context::watchdog_loop() {
+  // Low-frequency broadcaster backing bounded wait() deadlines: sleeping
+  // receivers use plain (untimed) cv waits and rely on these periodic
+  // wakes to notice an expired deadline. The tick bounds how late a
+  // CommTimeout can fire, and one shared timer replaces a per-sleep
+  // armed timer on every blocking receive.
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(watchdog_mu_);
+      watchdog_cv_.wait_for(lock, kWatchdogTick);
+    }
+    if (watchdog_stop_.load(std::memory_order_acquire)) return;
+    watchdog_ticks_.fetch_add(1, std::memory_order_relaxed);
+    for (auto& box : boxes_) {
+      std::lock_guard<std::mutex> lock(box->mu);
+      box->cv.notify_all();
+    }
+  }
+}
+
+void Context::set_fault_plan(FaultPlan plan) {
+  plan_ = std::move(plan);
+  plan_active_ = !plan_.empty();
+  plan_can_kill_ = plan_active_ && plan_.can_kill();
+  if (plan_active_) {
+    // Faulted messages need the envelope to be detectable, and a silent
+    // drop must become a typed timeout rather than a hang.
+    set_reliability(true);
+    if (wait_timeout_.count() == 0) {
+      wait_timeout_ = std::chrono::milliseconds(2000);
+    }
+  }
+}
+
+void Context::set_wait_timeout(std::chrono::milliseconds timeout) {
+  wait_timeout_ = std::max(timeout, std::chrono::milliseconds(0));
+}
+
+void Context::set_max_retries(int retries) {
+  max_retries_ = std::max(retries, 0);
+}
+
+std::uint64_t Context::account_op(int rank) {
+  if (rank < 0) return 0;
+  const std::uint64_t op = op_counters_[static_cast<std::size_t>(rank)]
+                               .fetch_add(1, std::memory_order_relaxed);
+  if (plan_can_kill_ && plan_.kills(rank, op)) {
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
+    log::warn("pmpi: fault plan kills rank ", rank, " at op ", op);
+    mark_dead(rank);
+    throw RankKilledError("rank " + std::to_string(rank) +
+                          " killed by fault plan at op " + std::to_string(op));
+  }
+  return op;
+}
+
+void Context::mark_dead(int rank) {
+  if (rank < 0 || rank >= size_) return;
+  if (dead_[static_cast<std::size_t>(rank)].exchange(
+          true, std::memory_order_acq_rel)) {
+    return;
+  }
+  dead_count_.fetch_add(1, std::memory_order_acq_rel);
+  log::warn("pmpi: rank ", rank, " is dead (", alive_count(), " of ", size_,
+            " ranks survive)");
+  // Wake every blocked wait() so peers observing the death convert it
+  // into RankDeadError / degraded exclusion instead of sleeping on.
+  for (auto& box : boxes_) {
+    std::lock_guard<std::mutex> lock(box->mu);
+    box->cv.notify_all();
+  }
+  // A barrier no longer waits for the dead rank: release the current
+  // generation if the survivors are all present.
+  {
+    std::lock_guard<std::mutex> lock(barrier_mu_);
+    if (barrier_waiting_ > 0 &&
+        barrier_waiting_ + dead_count_.load(std::memory_order_acquire) >=
+            size_) {
+      barrier_waiting_ = 0;
+      ++barrier_generation_;
+    }
+    barrier_cv_.notify_all();
+  }
+}
+
+std::vector<int> Context::dead_ranks() const {
+  std::vector<int> out;
+  for (int r = 0; r < size_; ++r) {
+    if (is_dead(r)) out.push_back(r);
+  }
+  return out;
 }
 
 void Context::post(int src, int dest, int tag, std::vector<std::byte> payload) {
   PARSVD_REQUIRE(dest >= 0 && dest < size_, "post: dest out of range");
+  if (payload.size() > max_payload_) {
+    throw CommError("pmpi: payload of " + std::to_string(payload.size()) +
+                    " bytes exceeds the per-message cap of " +
+                    std::to_string(max_payload_) + " bytes");
+  }
+  const std::uint64_t op = account_op(src);
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     bytes_by_rank_[static_cast<std::size_t>(src)] += payload.size();
     ++messages_;
   }
+  const bool rel = reliability();
+  const bool inject = plan_active_ && rel;
+  const std::uint64_t checksum =
+      rel ? payload_checksum(payload.data(), payload.size()) : 0;
+  std::optional<FaultDecision> fault;
+  if (inject) fault = plan_.on_message(src, op);
+
   Mailbox& box = *boxes_[static_cast<std::size_t>(dest)];
   {
     std::lock_guard<std::mutex> lock(box.mu);
-    box.queue.push_back(PendingMessage{src, tag, std::move(payload)});
+    const ChannelKey key{src, tag};
+    const std::uint64_t seq = rel ? box.send_seq[key]++ : 0;
+    PendingMessage msg{src,      tag, seq, checksum, Clock::time_point{},
+                       std::move(payload)};
+    log::trace("pmpi: post src=", src, " dest=", dest, " tag=", tag,
+               " seq=", seq, " bytes=", msg.payload.size());
+    if (fault) {
+      faults_injected_.fetch_add(1, std::memory_order_relaxed);
+      log::debug("pmpi: inject ", to_string(fault->kind), " src=", src,
+                 " dest=", dest, " tag=", tag, " seq=", seq);
+      switch (fault->kind) {
+        case FaultKind::Drop:
+          // Lost on the wire; the original stays in the retransmit log
+          // until the receiver recovers (NACK-equivalent) or acks past it.
+          box.log[key][seq] = std::move(msg.payload);
+          break;
+        case FaultKind::Truncate: {
+          box.log[key][seq] = msg.payload;
+          const std::size_t cut =
+              std::min<std::size_t>(msg.payload.size(), fault->param);
+          msg.payload.resize(msg.payload.size() - cut);
+          box.queue.push_back(std::move(msg));
+          break;
+        }
+        case FaultKind::Duplicate: {
+          PendingMessage copy = msg;
+          box.queue.push_back(std::move(copy));
+          box.queue.push_back(std::move(msg));
+          break;
+        }
+        case FaultKind::Delay:
+          msg.deliver_after =
+              Clock::now() + std::chrono::milliseconds(fault->param);
+          box.queue.push_back(std::move(msg));
+          break;
+        case FaultKind::Kill:
+          // Kills are evaluated in account_op, never as a message fault.
+          box.queue.push_back(std::move(msg));
+          break;
+      }
+    } else {
+      box.queue.push_back(std::move(msg));
+    }
   }
   box.cv.notify_all();
 }
 
 std::vector<std::byte> Context::wait(int dest, int src, int tag) {
   PARSVD_REQUIRE(dest >= 0 && dest < size_, "wait: dest out of range");
+  PARSVD_REQUIRE(src >= 0 && src < size_, "wait: src out of range");
+  account_op(dest);
   Mailbox& box = *boxes_[static_cast<std::size_t>(dest)];
+  const ChannelKey key{src, tag};
   std::unique_lock<std::mutex> lock(box.mu);
+
+  const bool rel = reliability();
+  // Only this rank's thread consumes from this mailbox, so the expected
+  // sequence number is stable for the duration of the call.
+  const std::uint64_t expected = rel ? box.recv_seq[key] : 0;
+
+  // Consume `payload` as the channel's next message: advance the
+  // expected sequence number and drop acknowledged retransmit copies.
+  const auto consume = [&](std::vector<std::byte> payload) {
+    log::trace("pmpi: consume dest=", dest, " src=", src, " tag=", tag,
+               " seq=", expected, " bytes=", payload.size());
+    if (rel) {
+      box.recv_seq[key] = expected + 1;
+      auto chan = box.log.find(key);
+      if (chan != box.log.end()) {
+        chan->second.erase(chan->second.begin(),
+                           chan->second.upper_bound(expected));
+        if (chan->second.empty()) box.log.erase(chan);
+      }
+    }
+    return payload;
+  };
+
+  const bool bounded = wait_timeout_.count() > 0;
+  // Deadlines run on the watchdog's coarse tick counter: arming and
+  // expiry checks are one relaxed atomic load each, so a bounded wait
+  // adds no clock reads or armed timers to the messaging fast path. The
+  // deadline is armed lazily on the first sleep — a wait that finds its
+  // message already queued (the common case) pays nothing at all.
+  constexpr std::uint64_t kUnarmed = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t deadline_tick = kUnarmed;
+  const auto ticks_for = [](std::chrono::milliseconds ms) {
+    // Round up, plus one tick of slop for the partial tick in flight.
+    return static_cast<std::uint64_t>(
+               (ms + kWatchdogTick - std::chrono::milliseconds(1)) /
+               kWatchdogTick) +
+           1;
+  };
+  ExponentialBackoff backoff(wait_timeout_ / 2, 2.0, wait_timeout_ * 2);
+  int retries_left = max_retries_;
+
   for (;;) {
-    // FIFO per (src, tag): take the first matching message in arrival
-    // order, the ordering guarantee MPI provides per channel.
-    auto it = std::find_if(box.queue.begin(), box.queue.end(),
-                           [src, tag](const PendingMessage& m) {
-                             return m.src == src && m.tag == tag;
-                           });
-    if (it != box.queue.end()) {
+    // Fetched lazily: only delayed-fault messages carry a non-epoch
+    // deliver_after, so the scan normally needs no clock read at all.
+    Clock::time_point now{};
+    Clock::time_point next_deliverable = Clock::time_point::max();
+    // NOTE: the stale-duplicate erase below invalidates deque end()
+    // iterators, so the candidate must be tracked with a flag rather
+    // than compared against a sentinel captured before the scan.
+    auto it = box.queue.end();
+    bool found = false;
+    for (auto cur = box.queue.begin(); cur != box.queue.end();) {
+      if (cur->src != src || cur->tag != tag) {
+        ++cur;
+        continue;
+      }
+      if (rel && cur->seq < expected) {
+        // Stale duplicate of an already-consumed message.
+        log::trace("pmpi: dropping duplicate seq=", cur->seq, " src=", src,
+                   " dest=", dest, " tag=", tag);
+        cur = box.queue.erase(cur);
+        continue;
+      }
+      if (rel && cur->seq > expected) {
+        // A successor arrived before the expected message; the gap is
+        // recovered from the retransmit log below.
+        ++cur;
+        continue;
+      }
+      if (cur->deliver_after != Clock::time_point{}) {
+        if (now == Clock::time_point{}) now = Clock::now();
+        if (cur->deliver_after > now) {
+          next_deliverable = std::min(next_deliverable, cur->deliver_after);
+          ++cur;
+          continue;
+        }
+      }
+      it = cur;
+      found = true;
+      break;
+    }
+    if (found) {
+      if (rel &&
+          payload_checksum(it->payload.data(), it->payload.size()) !=
+              it->checksum) {
+        // Corrupted on the wire: retransmit from the sender's copy.
+        bool recovered = false;
+        auto chan = box.log.find(key);
+        if (chan != box.log.end()) {
+          auto entry = chan->second.find(it->seq);
+          if (entry != chan->second.end()) {
+            retransmits_.fetch_add(1, std::memory_order_relaxed);
+            log::debug("pmpi: checksum mismatch, retransmitting seq=",
+                       it->seq, " src=", src, " dest=", dest, " tag=", tag);
+            it->payload = entry->second;
+            recovered = true;
+          }
+        }
+        if (!recovered) {
+          throw CommError(
+              "pmpi: checksum mismatch with no retransmit copy (src " +
+              std::to_string(src) + " -> dest " + std::to_string(dest) +
+              ", tag " + std::to_string(tag) + ", seq " +
+              std::to_string(it->seq) + ", " +
+              std::to_string(it->payload.size()) + " bytes)");
+        }
+      }
       std::vector<std::byte> payload = std::move(it->payload);
       box.queue.erase(it);
-      return payload;
+      return consume(std::move(payload));
+    }
+    if (rel) {
+      // Nothing deliverable in the queue; if the sender already posted
+      // the expected message and the fault layer swallowed it, recover
+      // it straight from the retransmit log.
+      auto chan = box.log.find(key);
+      if (chan != box.log.end()) {
+        auto entry = chan->second.find(expected);
+        if (entry != chan->second.end()) {
+          retransmits_.fetch_add(1, std::memory_order_relaxed);
+          log::debug("pmpi: recovering dropped seq=", expected, " src=", src,
+                     " dest=", dest, " tag=", tag);
+          std::vector<std::byte> payload = std::move(entry->second);
+          return consume(std::move(payload));
+        }
+      }
     }
     if (aborted()) {
-      throw CommError("communicator aborted while waiting for a message");
+      throw JobAbortedError("communicator aborted while waiting for a message");
     }
-    box.cv.wait(lock);
+    if (is_dead(src)) {
+      throw RankDeadError("pmpi: rank " + std::to_string(dest) +
+                          " waiting on dead rank " + std::to_string(src) +
+                          " (tag " + std::to_string(tag) + ")");
+    }
+    if (bounded) {
+      // Expiry is only ever evaluated here — when the rank is about to
+      // sleep AGAIN with nothing deliverable — so a wake that finds its
+      // message can never time out spuriously.
+      const std::uint64_t t = watchdog_ticks_.load(std::memory_order_relaxed);
+      if (deadline_tick == kUnarmed) {
+        ensure_watchdog();
+        deadline_tick = t + ticks_for(wait_timeout_);
+      } else if (t >= deadline_tick) {
+        if (retries_left > 0) {
+          --retries_left;
+          const std::chrono::milliseconds extension = backoff.next();
+          log::debug("pmpi: wait timed out (dest ", dest, " <- src ", src,
+                     ", tag ", tag, "), extending deadline by ",
+                     extension.count(), " ms");
+          deadline_tick = t + ticks_for(extension);
+        } else {
+          throw CommTimeout(
+              "pmpi: receive timed out after " +
+              std::to_string(wait_timeout_.count()) + " ms and " +
+              std::to_string(max_retries_) + " retries (dest " +
+              std::to_string(dest) + " <- src " + std::to_string(src) +
+              ", tag " + std::to_string(tag) + ")");
+        }
+      }
+    }
+    if (next_deliverable != Clock::time_point::max()) {
+      // A delayed message is scheduled: delivery wants millisecond
+      // precision, so this sleep keeps an armed timer. A pending delayed
+      // message also defers timeout expiry to the next loop — a timeout
+      // means "nothing deliverable and nothing scheduled".
+      box.cv.wait_until(lock, next_deliverable);
+    } else {
+      // Deadline enforcement does NOT need a per-sleep armed timer (the
+      // cost of which shows up as whole percents on chatty workloads):
+      // sleep untimed; bounded waits are woken by the shared
+      // low-frequency watchdog to re-check their deadline.
+      box.cv.wait(lock);
+    }
   }
 }
 
@@ -68,10 +411,12 @@ void Context::abort_job() {
   }
 }
 
-void Context::barrier() {
+void Context::barrier(int rank) {
+  account_op(rank);
   std::unique_lock<std::mutex> lock(barrier_mu_);
   const std::uint64_t my_generation = barrier_generation_;
-  if (++barrier_waiting_ == size_) {
+  if (++barrier_waiting_ + dead_count_.load(std::memory_order_acquire) >=
+      size_) {
     barrier_waiting_ = 0;
     ++barrier_generation_;
     barrier_cv_.notify_all();
@@ -80,7 +425,7 @@ void Context::barrier() {
   barrier_cv_.wait(lock, [this, my_generation] {
     return barrier_generation_ != my_generation || aborted();
   });
-  if (aborted()) throw CommError("communicator aborted during barrier");
+  if (aborted()) throw JobAbortedError("communicator aborted during barrier");
 }
 
 std::uint64_t Context::total_bytes() const {
@@ -109,6 +454,14 @@ Communicator::Communicator(int rank, std::shared_ptr<Context> ctx)
   PARSVD_REQUIRE(rank_ >= 0 && rank_ < ctx_->size(), "rank out of range");
 }
 
+void Communicator::check_payload(std::size_t bytes) const {
+  if (static_cast<std::uint64_t>(bytes) > ctx_->max_payload_bytes()) {
+    throw CommError("pmpi: send of " + std::to_string(bytes) +
+                    " bytes exceeds the per-message cap of " +
+                    std::to_string(ctx_->max_payload_bytes()) + " bytes");
+  }
+}
+
 void Communicator::send_bytes(std::vector<std::byte> payload, int dest, int tag) {
   ctx_->post(rank_, dest, tag, std::move(payload));
 }
@@ -116,8 +469,6 @@ void Communicator::send_bytes(std::vector<std::byte> payload, int dest, int tag)
 std::vector<std::byte> Communicator::recv_bytes(int src, int tag) {
   return ctx_->wait(rank_, src, tag);
 }
-
-namespace {
 
 std::vector<std::byte> pack_matrix(const Matrix& m) {
   const std::int64_t header[2] = {static_cast<std::int64_t>(m.rows()),
@@ -130,7 +481,7 @@ std::vector<std::byte> pack_matrix(const Matrix& m) {
   return payload;
 }
 
-Matrix unpack_matrix(const std::vector<std::byte>& payload) {
+Matrix unpack_matrix(std::span<const std::byte> payload) {
   PARSVD_REQUIRE(payload.size() >= 2 * sizeof(std::int64_t),
                  "matrix payload too short");
   std::int64_t header[2];
@@ -143,11 +494,11 @@ Matrix unpack_matrix(const std::vector<std::byte>& payload) {
   return m;
 }
 
-}  // namespace
-
 void Communicator::send_matrix(const Matrix& m, int dest, int tag) {
   check_peer(dest);
   check_tag(tag);
+  check_payload(2 * sizeof(std::int64_t) +
+                static_cast<std::size_t>(m.size()) * sizeof(double));
   send_bytes(pack_matrix(m), dest, tag);
 }
 
@@ -294,11 +645,107 @@ double Communicator::allreduce_scalar(double value, Op op) {
   return buf[0];
 }
 
+// -------------------------------------------- fault-tolerant collectives
+
+std::vector<std::optional<std::vector<std::byte>>> Communicator::gather_bytes_ft(
+    std::span<const std::byte> local, int root) {
+  check_peer(root);
+  if (rank_ != root) {
+    ctx_->post(rank_, root, kTagFtGather,
+               std::vector<std::byte>(local.begin(), local.end()));
+    return {};
+  }
+  std::vector<std::optional<std::vector<std::byte>>> out(
+      static_cast<std::size_t>(size()));
+  out[static_cast<std::size_t>(root)] =
+      std::vector<std::byte>(local.begin(), local.end());
+  for (int src = 0; src < size(); ++src) {
+    if (src == root) continue;
+    try {
+      out[static_cast<std::size_t>(src)] = ctx_->wait(rank_, src, kTagFtGather);
+    } catch (const RankDeadError&) {
+      // Died before posting its contribution: excluded, not waited for.
+      out[static_cast<std::size_t>(src)] = std::nullopt;
+    }
+  }
+  return out;
+}
+
+std::vector<std::optional<Matrix>> Communicator::gather_matrices_ft(
+    const Matrix& local, int root) {
+  const std::vector<std::byte> packed = pack_matrix(local);
+  std::vector<std::optional<std::vector<std::byte>>> raw =
+      gather_bytes_ft(packed, root);
+  std::vector<std::optional<Matrix>> out(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    if (raw[i]) out[i] = unpack_matrix(*raw[i]);
+  }
+  return out;
+}
+
+void Communicator::bcast_bytes_ft(std::vector<std::byte>& payload, int root) {
+  check_peer(root);
+  if (size() == 1) return;
+  if (rank_ == root) {
+    for (int dst = 0; dst < size(); ++dst) {
+      if (dst == root || ctx_->is_dead(dst)) continue;
+      // A rank dying after this aliveness check is harmless: the posted
+      // copy simply stays unconsumed in its mailbox.
+      ctx_->post(rank_, dst, kTagFtBcast, std::vector<std::byte>(payload));
+    }
+  } else {
+    payload = ctx_->wait(rank_, root, kTagFtBcast);
+  }
+}
+
+void Communicator::bcast_matrix_ft(Matrix& m, int root) {
+  std::vector<std::byte> payload;
+  if (rank_ == root) payload = pack_matrix(m);
+  bcast_bytes_ft(payload, root);
+  if (rank_ != root) m = unpack_matrix(payload);
+}
+
+void Communicator::bcast_doubles_ft(std::vector<double>& values, int root) {
+  std::vector<std::byte> payload;
+  if (rank_ == root) {
+    payload.resize(values.size() * sizeof(double));
+    std::memcpy(payload.data(), values.data(), payload.size());
+  }
+  bcast_bytes_ft(payload, root);
+  if (rank_ != root) {
+    PARSVD_REQUIRE(payload.size() % sizeof(double) == 0,
+                   "bcast_doubles_ft: payload not a whole number of doubles");
+    values.resize(payload.size() / sizeof(double));
+    std::memcpy(values.data(), payload.data(), payload.size());
+  }
+}
+
+void Communicator::allreduce_sum_ft(std::span<double> data, int root) {
+  std::vector<std::byte> payload(data.size_bytes());
+  std::memcpy(payload.data(), data.data(), data.size_bytes());
+  std::vector<std::optional<std::vector<std::byte>>> contributions =
+      gather_bytes_ft(payload, root);
+  std::vector<double> total(data.size(), 0.0);
+  if (rank_ == root) {
+    for (const auto& c : contributions) {
+      if (!c) continue;
+      PARSVD_REQUIRE(c->size() == data.size_bytes(),
+                     "allreduce_sum_ft: contribution size mismatch");
+      std::span<const double> incoming(
+          reinterpret_cast<const double*>(c->data()), data.size());
+      for (std::size_t i = 0; i < total.size(); ++i) total[i] += incoming[i];
+    }
+  }
+  bcast_doubles_ft(total, root);
+  std::copy(total.begin(), total.end(), data.begin());
+}
+
 // ------------------------------------------------------------------ run
 
-std::shared_ptr<Context> run_with_stats(
-    int size, const std::function<void(Communicator&)>& fn) {
-  auto ctx = std::make_shared<Context>(size);
+std::shared_ptr<Context> run_on(std::shared_ptr<Context> ctx,
+                                const std::function<void(Communicator&)>& fn) {
+  PARSVD_REQUIRE(ctx != nullptr, "run_on: null context");
+  const int size = ctx->size();
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(size));
   threads.reserve(static_cast<std::size_t>(size));
@@ -307,6 +754,11 @@ std::shared_ptr<Context> run_with_stats(
       try {
         Communicator comm(r, ctx);
         fn(comm);
+      } catch (const RankKilledError&) {
+        // Injected death: the context marked the rank dead and woke its
+        // peers. The survivors decide the job's fate — degraded
+        // completion returns normally, stuck survivors surface typed
+        // RankDeadError/CommTimeout through the branch below.
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
         // Wake peers blocked on messages this rank will never send.
@@ -315,23 +767,34 @@ std::shared_ptr<Context> run_with_stats(
     });
   }
   for (auto& t : threads) t.join();
-  // Prefer the root cause: secondary CommErrors are just ranks woken by
-  // abort_job after a peer failed.
-  std::exception_ptr first;
+  // Prefer the root cause. Ranks merely woken by abort_job carry
+  // JobAbortedError; a non-comm error (assertion, bad_alloc, ...) beats
+  // any comm error, and any primary comm error beats an abort victim.
+  std::exception_ptr first;      // fallback: lowest-rank error of any kind
+  std::exception_ptr primary;    // lowest-rank non-JobAborted CommError
   for (const auto& err : errors) {
     if (!err) continue;
     if (!first) first = err;
     try {
       std::rethrow_exception(err);
+    } catch (const JobAbortedError&) {
+      continue;
     } catch (const CommError&) {
+      if (!primary) primary = err;
       continue;
     } catch (...) {
-      first = err;
+      primary = err;
       break;
     }
   }
+  if (primary) std::rethrow_exception(primary);
   if (first) std::rethrow_exception(first);
   return ctx;
+}
+
+std::shared_ptr<Context> run_with_stats(
+    int size, const std::function<void(Communicator&)>& fn) {
+  return run_on(std::make_shared<Context>(size), fn);
 }
 
 void run(int size, const std::function<void(Communicator&)>& fn) {

@@ -19,19 +19,25 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
+#include <thread>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "linalg/matrix.hpp"
+#include "pmpi/fault.hpp"
 #include "support/error.hpp"
 
 namespace parsvd::pmpi {
@@ -39,24 +45,44 @@ namespace parsvd::pmpi {
 /// Reduction operators for reduce/allreduce.
 enum class Op { Sum, Max, Min };
 
-/// Shared state of one communicator "job": mailboxes, barrier, counters.
+/// Serialize a matrix into the wire format used by send_matrix (shape
+/// header + column-major body). Exposed so degraded-mode callers can
+/// build composite payloads (metadata + matrix) for one atomic gather.
+std::vector<std::byte> pack_matrix(const Matrix& m);
+Matrix unpack_matrix(std::span<const std::byte> payload);
+
+/// Shared state of one communicator "job": mailboxes, barrier, counters,
+/// reliability envelope and fault-injection hooks.
 /// Owned jointly by every Communicator handle of the job.
 class Context {
  public:
   explicit Context(int size);
+  ~Context();
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
 
   int size() const { return size_; }
 
-  /// Deliver a message into `dest`'s mailbox.
+  /// Deliver a message into `dest`'s mailbox. With the reliability layer
+  /// on, the payload travels in an envelope (per-channel sequence number
+  /// + checksum); the installed FaultPlan may drop/delay/duplicate/
+  /// truncate the delivered copy or kill `src` (RankKilledError).
   void post(int src, int dest, int tag, std::vector<std::byte> payload);
 
   /// Block until a message with exactly (src, tag) is available for
   /// `dest` and return its payload. Matching is FIFO per (src, tag).
+  /// The envelope layer discards duplicates, recovers dropped/corrupted
+  /// messages from the retransmit log, and converts unrecoverable losses
+  /// into typed errors: CommTimeout once the wait timeout (plus bounded
+  /// backoff retries) expires, RankDeadError when `src` is dead with no
+  /// recoverable message in flight.
   std::vector<std::byte> wait(int dest, int src, int tag);
 
   /// Two-phase dissemination barrier over the mailbox fabric is not
   /// needed in-process; a generation-counted central barrier is exact.
-  void barrier();
+  /// Dead ranks are not waited for; pass the calling rank so fault
+  /// injection can account (and possibly kill) the operation.
+  void barrier(int rank = -1);
 
   /// Mark the job as failed and wake every blocked rank: any rank
   /// currently (or subsequently) blocked in wait()/barrier() throws
@@ -64,6 +90,56 @@ class Context {
   /// rank function exits with an exception.
   void abort_job();
   bool aborted() const { return aborted_.load(std::memory_order_acquire); }
+
+  // --------------------------------------------- fault injection / faults
+
+  /// Install a fault schedule (before ranks start communicating). Arms
+  /// the retransmit log; if no wait timeout is configured yet, a default
+  /// of 2000 ms is set so injected losses can never hang a rank.
+  void set_fault_plan(FaultPlan plan);
+  const FaultPlan& fault_plan() const { return plan_; }
+
+  /// Maximum blocking time of one wait() before recovery/retry kicks in.
+  /// Zero (the default without a fault plan) waits forever.
+  void set_wait_timeout(std::chrono::milliseconds timeout);
+
+  /// Deadline extensions (with exponential backoff) granted after the
+  /// first timeout before CommTimeout is thrown. Default 3.
+  void set_max_retries(int retries);
+
+  /// Toggle the checksum/sequence envelope. On by default; the fault
+  /// overhead bench toggles it off to measure the zero-fault cost.
+  /// Must not change while ranks are communicating.
+  void set_reliability(bool enabled) {
+    reliability_.store(enabled, std::memory_order_relaxed);
+  }
+  bool reliability() const {
+    return reliability_.load(std::memory_order_relaxed);
+  }
+
+  /// Reject any single payload larger than this (typed CommError).
+  void set_max_payload_bytes(std::uint64_t bytes) { max_payload_ = bytes; }
+  std::uint64_t max_payload_bytes() const { return max_payload_; }
+
+  /// Mark `rank` dead and wake every blocked rank so waits on it turn
+  /// into typed errors (or degraded-mode exclusion) instead of hangs.
+  void mark_dead(int rank);
+  bool is_dead(int rank) const {
+    return dead_[static_cast<std::size_t>(rank)].load(
+        std::memory_order_acquire);
+  }
+  int alive_count() const { return size_ - dead_count_.load(std::memory_order_acquire); }
+  std::vector<int> dead_ranks() const;
+
+  /// Operations (post/wait/barrier) `rank` has performed so far. The
+  /// per-rank sequence is deterministic for a fixed workload, so a probe
+  /// run's count is how tests aim kill_rank at a specific later phase.
+  std::uint64_t ops(int rank) const {
+    return op_counters_[static_cast<std::size_t>(rank)].load(
+        std::memory_order_relaxed);
+  }
+
+  // ------------------------------------------------------------ statistics
 
   /// Total payload bytes posted so far (all ranks).
   std::uint64_t total_bytes() const;
@@ -74,17 +150,47 @@ class Context {
   /// Total number of messages posted.
   std::uint64_t total_messages() const;
 
+  /// Messages recovered from the retransmit log (drops + corruptions).
+  std::uint64_t retransmits() const { return retransmits_.load(std::memory_order_relaxed); }
+
+  /// Faults the installed plan actually injected.
+  std::uint64_t faults_injected() const { return faults_injected_.load(std::memory_order_relaxed); }
+
  private:
+  using Clock = std::chrono::steady_clock;
+  /// One point-to-point channel as the envelope layer sees it: messages
+  /// of one sender arriving at this mailbox under one tag.
+  using ChannelKey = std::pair<int, int>;  // (src, tag)
+
   struct PendingMessage {
     int src;
     int tag;
+    std::uint64_t seq;       // per-channel sequence number (envelope)
+    std::uint64_t checksum;  // checksum of the ORIGINAL payload
+    Clock::time_point deliver_after;  // epoch = deliverable immediately
     std::vector<std::byte> payload;
   };
   struct Mailbox {
     std::mutex mu;
     std::condition_variable cv;
     std::deque<PendingMessage> queue;
+    // Envelope bookkeeping, all under `mu`: next sequence number to
+    // assign per channel (sender side), next expected per channel
+    // (receiver side), and the retransmit log holding the original
+    // payloads of lossy-faulted messages until their seq is consumed.
+    std::map<ChannelKey, std::uint64_t> send_seq;
+    std::map<ChannelKey, std::uint64_t> recv_seq;
+    std::map<ChannelKey, std::map<std::uint64_t, std::vector<std::byte>>> log;
   };
+
+  /// Advance `rank`'s operation counter; throw RankKilledError if the
+  /// plan kills this operation. Returns the operation index.
+  std::uint64_t account_op(int rank);
+
+  /// Lazily start the deadline watchdog (bounded waits sleep untimed and
+  /// rely on its periodic mailbox wakes to re-check their deadline).
+  void ensure_watchdog();
+  void watchdog_loop();
 
   int size_;
   std::atomic<bool> aborted_{false};
@@ -98,6 +204,31 @@ class Context {
   mutable std::mutex stats_mu_;
   std::vector<std::uint64_t> bytes_by_rank_;
   std::uint64_t messages_ = 0;
+
+  FaultPlan plan_;
+  bool plan_active_ = false;
+  bool plan_can_kill_ = false;  // cached plan_.can_kill(): skips the
+                                // per-operation kill lookup for plans
+                                // that only fault messages
+  std::atomic<bool> reliability_{true};
+  std::chrono::milliseconds wait_timeout_{0};
+  int max_retries_ = 3;
+  std::uint64_t max_payload_ = std::uint64_t{1} << 33;  // 8 GiB
+  std::vector<std::atomic<std::uint64_t>> op_counters_;
+  std::vector<std::atomic<bool>> dead_;
+  std::atomic<int> dead_count_{0};
+  /// Watchdog tick period: the granularity of bounded-wait deadlines.
+  /// Coarse on purpose — the timeout is hang protection, not a precise
+  /// timer, and the coarse tick keeps armed timers off the message path.
+  static constexpr std::chrono::milliseconds kWatchdogTick{20};
+  std::thread watchdog_;
+  std::atomic<bool> watchdog_started_{false};
+  std::atomic<bool> watchdog_stop_{false};
+  std::atomic<std::uint64_t> watchdog_ticks_{0};
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  std::atomic<std::uint64_t> retransmits_{0};
+  std::atomic<std::uint64_t> faults_injected_{0};
 };
 
 /// Per-rank handle: the library-facing API (mirrors the MPI calls used in
@@ -114,12 +245,15 @@ class Communicator {
 
   // ------------------------------------------------------- point-to-point
 
-  /// Blocking-buffered send of trivially copyable elements.
+  /// Blocking-buffered send of trivially copyable elements. Payloads
+  /// beyond the context's size cap raise a typed CommError before any
+  /// buffering happens.
   template <typename T>
   void send(std::span<const T> data, int dest, int tag = 0) {
     static_assert(std::is_trivially_copyable_v<T>);
     check_peer(dest);
     check_tag(tag);
+    check_payload(data.size_bytes());
     std::vector<std::byte> payload(data.size_bytes());
     std::memcpy(payload.data(), data.data(), data.size_bytes());
     ctx_->post(rank_, dest, tag, std::move(payload));
@@ -147,7 +281,7 @@ class Communicator {
   // Every collective must be called by all ranks of the communicator, in
   // the same order — the MPI contract.
 
-  void barrier() { ctx_->barrier(); }
+  void barrier() { ctx_->barrier(rank_); }
 
   /// Binomial-tree broadcast; `data` is input at root, output elsewhere.
   template <typename T>
@@ -185,6 +319,33 @@ class Communicator {
   void allreduce(std::span<double> data, Op op);
   double allreduce_scalar(double value, Op op);
 
+  // ------------------------------------- fault-tolerant (degraded) mode
+  // Flat-topology collectives that exclude ranks marked dead and absorb
+  // deaths racing with the collective. Contract: every SURVIVING rank
+  // calls them in the same order; the root must survive (root death is
+  // unrecoverable and surfaces as RankDeadError). Messages posted by a
+  // rank before its death are still consumed, so a contribution is only
+  // lost when the rank died before sending it.
+
+  /// Gather one raw payload per rank at root; result[i] is rank i's
+  /// payload, nullopt when rank i is dead and its payload unrecoverable.
+  /// Non-root ranks receive an empty vector.
+  std::vector<std::optional<std::vector<std::byte>>> gather_bytes_ft(
+      std::span<const std::byte> local, int root = 0);
+
+  /// As gather_matrices, but dead ranks yield nullopt at root.
+  std::vector<std::optional<Matrix>> gather_matrices_ft(const Matrix& local,
+                                                        int root = 0);
+
+  /// Root fans `payload` directly out to every living rank.
+  void bcast_bytes_ft(std::vector<std::byte>& payload, int root = 0);
+  void bcast_matrix_ft(Matrix& m, int root = 0);
+  void bcast_doubles_ft(std::vector<double>& values, int root = 0);
+
+  /// Sum-allreduce over the survivors: dead ranks' contributions are
+  /// simply absent from the sum.
+  void allreduce_sum_ft(std::span<double> data, int root = 0);
+
  private:
   void check_peer(int peer) const {
     PARSVD_REQUIRE(peer >= 0 && peer < size(), "peer rank out of range");
@@ -192,6 +353,9 @@ class Communicator {
   static void check_tag(int tag) {
     PARSVD_REQUIRE(tag >= 0, "user tags must be non-negative");
   }
+  /// Reject degenerate payload sizes with a typed CommError before any
+  /// buffer is allocated (oversized sends were previously unguarded).
+  void check_payload(std::size_t bytes) const;
 
   // Internal tag space for collectives (kept clear of user tags by using
   // values the public API rejects).
@@ -199,6 +363,8 @@ class Communicator {
   static constexpr int kTagGather = -3;
   static constexpr int kTagScatter = -4;
   static constexpr int kTagReduce = -5;
+  static constexpr int kTagFtGather = -6;
+  static constexpr int kTagFtBcast = -7;
 
   void send_bytes(std::vector<std::byte> payload, int dest, int tag);
   std::vector<std::byte> recv_bytes(int src, int tag);
@@ -273,11 +439,21 @@ std::vector<T> Communicator::gatherv(std::span<const T> local, int root,
 
 /// Launch `size` ranks (threads), each running fn(comm). Joins all ranks;
 /// the first rank exception (by rank order) is rethrown in the caller.
+/// RankKilledError (an injected fault-plan death) is NOT rethrown: the
+/// dead rank is recorded in Context::dead_ranks() and the survivors'
+/// outcome decides the job's fate — degraded completion returns normally,
+/// a stuck survivor surfaces as RankDeadError/CommTimeout.
 void run(int size, const std::function<void(Communicator&)>& fn);
 
 /// As `run`, but also returns the context for post-mortem statistics
-/// (communication volume, message counts).
+/// (communication volume, message counts, retransmits, dead ranks).
 std::shared_ptr<Context> run_with_stats(
     int size, const std::function<void(Communicator&)>& fn);
+
+/// Run ranks on a caller-configured context (fault plan, timeouts,
+/// reliability toggle). The context must be freshly constructed with the
+/// desired size. Returns `ctx` for post-mortem inspection.
+std::shared_ptr<Context> run_on(std::shared_ptr<Context> ctx,
+                                const std::function<void(Communicator&)>& fn);
 
 }  // namespace parsvd::pmpi

@@ -43,6 +43,38 @@ class CommError : public Error {
   explicit CommError(const std::string& what) : Error(what) {}
 };
 
+/// A blocking pmpi wait exceeded its configured timeout budget (including
+/// bounded retries) — the typed replacement for a silent deadlock when a
+/// message is lost and cannot be recovered.
+class CommTimeout : public CommError {
+ public:
+  explicit CommTimeout(const std::string& what) : CommError(what) {}
+};
+
+/// A pmpi operation needed a rank that has been marked dead (killed by
+/// fault injection) and whose contribution is not recoverable.
+class RankDeadError : public CommError {
+ public:
+  explicit RankDeadError(const std::string& what) : CommError(what) {}
+};
+
+/// Thrown inside the rank a FaultPlan kills. The run() harness treats it
+/// as an injected death (recorded in Context::dead_ranks(), not rethrown);
+/// survivors decide the job's fate — degraded completion or typed failure.
+class RankKilledError : public CommError {
+ public:
+  explicit RankKilledError(const std::string& what) : CommError(what) {}
+};
+
+/// A blocked pmpi wait()/barrier() was woken by Context::abort_job()
+/// after ANOTHER rank failed — a secondary victim, not the root cause.
+/// run() uses the distinct type to rethrow the originating error instead
+/// of whichever victim happened to sit at the lowest rank index.
+class JobAbortedError : public CommError {
+ public:
+  explicit JobAbortedError(const std::string& what) : CommError(what) {}
+};
+
 /// Invalid user-provided configuration (negative rank counts etc.).
 class ConfigError : public Error {
  public:

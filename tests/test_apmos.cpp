@@ -34,7 +34,7 @@ ApmosResult run_apmos(const Matrix& a, int p, const ApmosOptions& opts) {
     u_blocks[static_cast<std::size_t>(comm.rank())] = std::move(res.u_local);
     if (comm.is_root()) s = std::move(res.s);
   });
-  return {vcat(u_blocks), std::move(s)};
+  return {vcat(u_blocks), std::move(s), {}};
 }
 
 Matrix burgers_data() {

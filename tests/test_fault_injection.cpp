@@ -1,0 +1,512 @@
+// Fault-injection tests for the pmpi runtime and the degraded-completion
+// mode of the distributed solvers.
+//
+// Three layers:
+//   * deterministic single-fault tests (explicit FaultPlan events) that
+//     pin down the recovery semantics of each FaultKind;
+//   * chaos sweeps — 220 seeded plans (120 recoverable-fault seeds that
+//     must produce bit-exact results, 100 kill-enabled seeds that must
+//     either succeed or fail with a typed parsvd::Error) over a workload
+//     mixing send/recv, bcast, gather, allreduce and barrier.  The
+//     invariant under test is "never a hang": every run terminates, via
+//     recovery, RankDeadError, CommTimeout or abort_job cascade;
+//   * degraded-completion tests: killing a rank mid-call still yields
+//     modes for the surviving partitions, with the loss quantified in a
+//     FaultReport (the streaming driver's bound is sharp because it
+//     records per-rank extents and energies up front).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/apmos.hpp"
+#include "core/parallel_streaming.hpp"
+#include "core/tsqr.hpp"
+#include "pmpi/comm.hpp"
+#include "pmpi/fault.hpp"
+#include "support/rng.hpp"
+#include "test_utils.hpp"
+
+namespace parsvd {
+namespace {
+
+using pmpi::Communicator;
+using pmpi::Context;
+using pmpi::FaultKind;
+using pmpi::FaultPlan;
+
+std::shared_ptr<Context> make_ctx(int size, FaultPlan plan) {
+  auto ctx = std::make_shared<Context>(size);
+  ctx->set_fault_plan(std::move(plan));
+  return ctx;
+}
+
+/// Deterministic payload so every receiver can verify bit-exact delivery.
+std::vector<double> pattern(std::uint64_t seed, int stream, std::size_t len) {
+  Rng rng(seed * 1000003 + static_cast<std::uint64_t>(stream));
+  std::vector<double> v(len);
+  for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+void expect_doubles_eq(const std::vector<double>& got,
+                       const std::vector<double>& want, std::uint64_t seed,
+                       const char* what) {
+  ASSERT_EQ(got.size(), want.size()) << what << " seed " << seed;
+  double err = 0.0;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    err = std::max(err, std::abs(got[i] - want[i]));
+  }
+  EXPECT_EQ(err, 0.0) << what << " seed " << seed;
+}
+
+// --------------------------------------------------------- fault plumbing
+
+TEST(FaultPlanTest, ChecksumDetectsBitFlip) {
+  std::vector<std::byte> buf(1031);
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = static_cast<std::byte>(i * 37 + 11);
+  }
+  const std::uint64_t base = pmpi::payload_checksum(buf.data(), buf.size());
+  EXPECT_EQ(base, pmpi::payload_checksum(buf.data(), buf.size()));
+  for (std::size_t pos : {std::size_t{0}, std::size_t{517}, buf.size() - 1}) {
+    buf[pos] ^= std::byte{1};
+    EXPECT_NE(base, pmpi::payload_checksum(buf.data(), buf.size()))
+        << "flip at " << pos;
+    buf[pos] ^= std::byte{1};
+  }
+  EXPECT_EQ(pmpi::payload_checksum(nullptr, 0),
+            pmpi::payload_checksum(nullptr, 0));
+}
+
+TEST(FaultPlanTest, ChaosPlanIsDeterministicPerSeed) {
+  const FaultPlan a = FaultPlan::chaos(42, 0.1, 0.1, 0.1, 0.1, 0.05);
+  const FaultPlan b = FaultPlan::chaos(42, 0.1, 0.1, 0.1, 0.1, 0.05);
+  const FaultPlan c = FaultPlan::chaos(43, 0.1, 0.1, 0.1, 0.1, 0.05);
+  int differs = 0;
+  for (int rank = 0; rank < 4; ++rank) {
+    for (std::uint64_t op = 0; op < 200; ++op) {
+      const auto da = a.on_message(rank, op);
+      const auto db = b.on_message(rank, op);
+      ASSERT_EQ(da.has_value(), db.has_value());
+      if (da) {
+        EXPECT_EQ(da->kind, db->kind);
+        EXPECT_EQ(da->param, db->param);
+      }
+      EXPECT_EQ(a.kills(rank, op), b.kills(rank, op));
+      const auto dc = c.on_message(rank, op);
+      if (da.has_value() != dc.has_value()) ++differs;
+    }
+  }
+  EXPECT_GT(differs, 0) << "different seeds should reshuffle the faults";
+}
+
+TEST(FaultPlanTest, FromEnvReadsRatesAndDefaultsEmpty) {
+  EXPECT_TRUE(FaultPlan::from_env().empty());
+  ::setenv("PARSVD_FAULT_SEED", "7", 1);
+  ::setenv("PARSVD_FAULT_DROP", "0.25", 1);
+  const FaultPlan plan = FaultPlan::from_env();
+  ::unsetenv("PARSVD_FAULT_SEED");
+  ::unsetenv("PARSVD_FAULT_DROP");
+  EXPECT_FALSE(plan.empty());
+  EXPECT_FALSE(plan.can_kill());
+  int drops = 0;
+  for (std::uint64_t op = 0; op < 400; ++op) {
+    const auto d = plan.on_message(1, op);
+    if (d && d->kind == FaultKind::Drop) ++drops;
+  }
+  EXPECT_GT(drops, 40);  // ~100 expected at rate 0.25
+}
+
+// ------------------------------------------- single-fault recovery paths
+
+TEST(FaultInjection, DropIsRecoveredFromRetransmitLog) {
+  FaultPlan plan;
+  plan.inject(0, 0, FaultKind::Drop);
+  auto ctx = make_ctx(2, std::move(plan));
+  const auto payload = pattern(1, 7, 256);
+  pmpi::run_on(ctx, [&payload](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send<double>(payload, 1, 7);
+    } else {
+      expect_doubles_eq(comm.recv<double>(0, 7), payload, 1, "drop");
+    }
+  });
+  EXPECT_EQ(ctx->faults_injected(), 1u);
+  EXPECT_GE(ctx->retransmits(), 1u);
+}
+
+TEST(FaultInjection, TruncationIsDetectedAndRetransmitted) {
+  FaultPlan plan;
+  plan.inject(0, 0, FaultKind::Truncate, 16);
+  auto ctx = make_ctx(2, std::move(plan));
+  const auto payload = pattern(2, 9, 128);
+  pmpi::run_on(ctx, [&payload](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send<double>(payload, 1, 9);
+    } else {
+      expect_doubles_eq(comm.recv<double>(0, 9), payload, 2, "truncate");
+    }
+  });
+  EXPECT_EQ(ctx->faults_injected(), 1u);
+  EXPECT_GE(ctx->retransmits(), 1u);
+}
+
+TEST(FaultInjection, DuplicateIsDiscardedBySequenceNumber) {
+  FaultPlan plan;
+  plan.inject(0, 0, FaultKind::Duplicate);
+  auto ctx = make_ctx(2, std::move(plan));
+  const auto first = pattern(3, 1, 32);
+  const auto second = pattern(3, 2, 32);
+  pmpi::run_on(ctx, [&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send<double>(first, 1, 4);
+      comm.send<double>(second, 1, 4);
+    } else {
+      // The duplicated first message must not shadow the second one.
+      expect_doubles_eq(comm.recv<double>(0, 4), first, 3, "dup first");
+      expect_doubles_eq(comm.recv<double>(0, 4), second, 3, "dup second");
+    }
+  });
+  EXPECT_EQ(ctx->faults_injected(), 1u);
+}
+
+TEST(FaultInjection, DelayedMessageStillArrivesIntact) {
+  FaultPlan plan;
+  plan.inject(0, 0, FaultKind::Delay, 30);
+  auto ctx = make_ctx(2, std::move(plan));
+  const auto payload = pattern(4, 5, 64);
+  const auto t0 = std::chrono::steady_clock::now();
+  pmpi::run_on(ctx, [&payload](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send<double>(payload, 1, 2);
+    } else {
+      expect_doubles_eq(comm.recv<double>(0, 2), payload, 4, "delay");
+    }
+  });
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_EQ(ctx->faults_injected(), 1u);
+  EXPECT_GE(elapsed.count(), 20);  // the 30 ms hold actually held
+}
+
+TEST(FaultInjection, WaitOnKilledRankThrowsRankDeadError) {
+  FaultPlan plan;
+  plan.kill_rank(1, 0);
+  auto ctx = make_ctx(2, std::move(plan));
+  EXPECT_THROW(pmpi::run_on(ctx,
+                            [](Communicator& comm) {
+                              if (comm.rank() == 1) {
+                                comm.send<int>(std::vector<int>{1}, 0, 3);
+                              } else {
+                                comm.recv<int>(1, 3);
+                              }
+                            }),
+               RankDeadError);
+  EXPECT_EQ(ctx->dead_ranks(), std::vector<int>{1});
+  EXPECT_EQ(ctx->alive_count(), 1);
+}
+
+TEST(FaultInjection, MessagePostedBeforeDeathIsStillConsumed) {
+  // Death is not retroactive: a payload already in the mailbox outlives
+  // its sender.
+  FaultPlan plan;
+  plan.kill_rank(1, 1);  // second op: the send succeeds, then it dies
+  auto ctx = make_ctx(2, std::move(plan));
+  const auto payload = pattern(5, 1, 16);
+  pmpi::run_on(ctx, [&payload](Communicator& comm) {
+    if (comm.rank() == 1) {
+      comm.send<double>(payload, 0, 8);
+      comm.barrier();  // killed here
+    } else {
+      expect_doubles_eq(comm.recv<double>(0 + 1, 8), payload, 5, "pre-death");
+    }
+  });
+  EXPECT_EQ(ctx->dead_ranks(), std::vector<int>{1});
+}
+
+TEST(FaultInjection, SilentPeerTimesOutWithCommTimeout) {
+  auto ctx = std::make_shared<Context>(2);
+  ctx->set_wait_timeout(std::chrono::milliseconds(50));
+  ctx->set_max_retries(1);
+  EXPECT_THROW(pmpi::run_on(ctx,
+                            [](Communicator& comm) {
+                              if (comm.rank() == 0) {
+                                comm.recv<int>(1, 6);  // never sent
+                              }
+                            }),
+               CommTimeout);
+}
+
+TEST(FaultInjection, BarrierReleasesWhenARankDies) {
+  FaultPlan plan;
+  plan.kill_rank(2, 0);
+  auto ctx = make_ctx(3, std::move(plan));
+  pmpi::run_on(ctx, [](Communicator& comm) { comm.barrier(); });
+  EXPECT_EQ(ctx->alive_count(), 2);
+  EXPECT_EQ(ctx->dead_ranks(), std::vector<int>{2});
+}
+
+TEST(FaultInjection, ZeroFaultRunInjectsNothing) {
+  auto ctx = std::make_shared<Context>(3);
+  pmpi::run_on(ctx, [](Communicator& comm) {
+    std::vector<double> b;
+    if (comm.rank() == 0) b = pattern(6, 0, 40);
+    comm.bcast(b, 0);
+    expect_doubles_eq(b, pattern(6, 0, 40), 6, "healthy bcast");
+    comm.barrier();
+  });
+  EXPECT_EQ(ctx->faults_injected(), 0u);
+  EXPECT_EQ(ctx->retransmits(), 0u);
+}
+
+// ----------------------------------------------------------- chaos sweeps
+
+/// Mixed workload touching every communication primitive, with results
+/// that are exact functions of (seed, rank) so any corruption is caught.
+void chaos_workload(Communicator& comm, std::uint64_t seed) {
+  const int p = comm.size();
+  const int r = comm.rank();
+
+  // Point-to-point ring with per-sender tags.
+  const int next = (r + 1) % p;
+  const int prev = (r + p - 1) % p;
+  comm.send<double>(pattern(seed, 10 + r, 64), next, 10 + r);
+  expect_doubles_eq(comm.recv<double>(prev, 10 + prev),
+                    pattern(seed, 10 + prev, 64), seed, "ring");
+
+  // Broadcast from root.
+  std::vector<double> b;
+  if (r == 0) b = pattern(seed, 99, 48);
+  comm.bcast(b, 0);
+  expect_doubles_eq(b, pattern(seed, 99, 48), seed, "bcast");
+
+  // Gather at root.
+  const std::vector<double> mine{static_cast<double>(r + 1)};
+  const std::vector<double> all = comm.gatherv<double>(mine, 0);
+  if (r == 0) {
+    ASSERT_EQ(static_cast<int>(all.size()), p) << "seed " << seed;
+    for (int i = 0; i < p; ++i) {
+      EXPECT_EQ(all[static_cast<std::size_t>(i)], i + 1) << "seed " << seed;
+    }
+  }
+
+  // Allreduce.
+  double v[1] = {static_cast<double>(r)};
+  comm.allreduce(std::span<double>(v, 1), pmpi::Op::Sum);
+  EXPECT_EQ(v[0], p * (p - 1) / 2.0) << "seed " << seed;
+
+  comm.barrier();
+}
+
+TEST(FaultChaos, RecoverableFaultSweepIsExact) {
+  // 120 seeded plans over drop/delay/duplicate/truncate: every run must
+  // finish with bit-exact results — drops and truncations recover from
+  // the retransmit log, duplicates are discarded, delays are waited out.
+  constexpr std::uint64_t kSeeds = 120;
+  std::uint64_t injected = 0;
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    FaultPlan plan = FaultPlan::chaos(seed, 0.06, 0.05, 0.05, 0.04);
+    plan.delay_ms = 1;
+    auto ctx = make_ctx(4, std::move(plan));
+    pmpi::run_on(ctx,
+                 [seed](Communicator& comm) { chaos_workload(comm, seed); });
+    injected += ctx->faults_injected();
+  }
+  // Rate sanity: at ~20% combined fault rate the sweep must have
+  // actually exercised the recovery machinery many times.
+  EXPECT_GT(injected, 200u);
+}
+
+TEST(FaultChaos, KillSweepEndsInSuccessOrTypedErrorNeverHangs) {
+  // 100 seeded plans with rank kills enabled (root protected): a run
+  // either completes exactly or surfaces a typed parsvd::Error through
+  // run_on. Anything else — a hang, a raw std::exception — fails.
+  constexpr std::uint64_t kSeeds = 100;
+  int clean = 0;
+  int typed = 0;
+  std::uint64_t deaths = 0;
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    FaultPlan plan =
+        FaultPlan::chaos(1000 + seed, 0.04, 0.03, 0.03, 0.03, 0.02);
+    plan.delay_ms = 1;
+    plan.protect_rank(0);
+    auto ctx = make_ctx(4, std::move(plan));
+    try {
+      pmpi::run_on(ctx, [seed](Communicator& comm) {
+        chaos_workload(comm, 1000 + seed);
+      });
+      ++clean;
+    } catch (const Error&) {
+      ++typed;
+    }
+    const std::vector<int> dead = ctx->dead_ranks();
+    deaths += dead.size();
+    EXPECT_TRUE(std::find(dead.begin(), dead.end(), 0) == dead.end())
+        << "protected root died, seed " << seed;
+  }
+  EXPECT_EQ(clean + typed, static_cast<int>(kSeeds));
+  EXPECT_GT(typed, 0) << "kill rate 2% over 100 seeds must hit some runs";
+  EXPECT_GT(clean, 0) << "some runs must survive untouched";
+  EXPECT_GT(deaths, 0u);
+  std::printf("kill sweep: %d clean, %d typed failures, %llu rank deaths\n",
+              clean, typed, static_cast<unsigned long long>(deaths));
+}
+
+// ---------------------------------------------------- degraded completion
+
+TEST(FaultDegraded, ApmosCompletesWithoutTheDeadRank) {
+  const int p = 4;
+  const Index rows = 12;
+  const Index cols = 10;
+  FaultPlan plan;
+  plan.kill_rank(2, 0);  // dies on its first op: the W gather post
+  auto ctx = make_ctx(p, std::move(plan));
+  std::array<std::optional<ApmosResult>, 4> results;
+  pmpi::run_on(ctx, [&results, rows, cols](Communicator& comm) {
+    const Matrix a = testing::random_matrix(
+        rows, cols, 40 + static_cast<std::uint64_t>(comm.rank()));
+    ApmosOptions opts;
+    opts.r1 = 6;
+    opts.r2 = 4;
+    opts.fault_tolerant = true;
+    results[static_cast<std::size_t>(comm.rank())] = apmos_svd(comm, a, opts);
+  });
+  EXPECT_EQ(ctx->dead_ranks(), std::vector<int>{2});
+  EXPECT_FALSE(results[2].has_value()) << "killed rank must not produce";
+  for (int r : {0, 1, 3}) {
+    const auto& res = results[static_cast<std::size_t>(r)];
+    ASSERT_TRUE(res.has_value()) << "rank " << r;
+    EXPECT_TRUE(res->report.degraded);
+    EXPECT_EQ(res->report.dead_ranks, std::vector<int>{2});
+    EXPECT_EQ(res->report.surviving_rows, 3 * rows);
+    // One-shot APMOS never heard from rank 2, so the lost extent is
+    // unknown and the bound is the vacuous worst case.
+    EXPECT_FALSE(res->report.extent_known);
+    EXPECT_EQ(res->report.accuracy_bound, 1.0);
+    EXPECT_EQ(res->u_local.rows(), rows);
+    EXPECT_EQ(res->u_local.cols(), 4);
+    ASSERT_EQ(res->s.size(), 4);
+    for (Index j = 0; j < res->s.size(); ++j) EXPECT_GT(res->s[j], 0.0);
+  }
+}
+
+TEST(FaultDegraded, TsqrExcludesDeadRankAndStaysAFactorization) {
+  const int p = 3;
+  const Index rows = 8;
+  const Index cols = 5;
+  std::array<Matrix, 3> blocks;
+  for (int r = 0; r < p; ++r) {
+    blocks[static_cast<std::size_t>(r)] = testing::random_matrix(
+        rows, cols, 60 + static_cast<std::uint64_t>(r));
+  }
+  FaultPlan plan;
+  plan.kill_rank(1, 0);  // dies on its first op: the R gather post
+  auto ctx = make_ctx(p, std::move(plan));
+  std::array<std::optional<TsqrResult>, 3> results;
+  pmpi::run_on(ctx, [&](Communicator& comm) {
+    results[static_cast<std::size_t>(comm.rank())] = tsqr(
+        comm, blocks[static_cast<std::size_t>(comm.rank())],
+        TsqrVariant::Direct, /*fault_tolerant=*/true);
+  });
+  EXPECT_FALSE(results[1].has_value());
+  for (int r : {0, 2}) {
+    const auto& res = results[static_cast<std::size_t>(r)];
+    ASSERT_TRUE(res.has_value()) << "rank " << r;
+    EXPECT_EQ(res->excluded_ranks, std::vector<int>{1});
+    // Still an exact factorization of the surviving rows.
+    testing::expect_matrix_near(
+        testing::naive_matmul(res->q_local, res->r),
+        blocks[static_cast<std::size_t>(r)], 1e-10, "q_local * r");
+  }
+  // Survivor Q slices stack to an orthonormal basis.
+  const Matrix stacked = vcat(results[0]->q_local, results[2]->q_local);
+  EXPECT_LT(testing::ortho_defect(stacked), 1e-10);
+}
+
+TEST(FaultDegraded, StreamingSurvivesKillingOneOfFourMidStream) {
+  // The acceptance scenario: 4 ranks stream batches; rank 1 dies at the
+  // start of the second update. The survivors finish that update and a
+  // further one, and the fault report quantifies the loss sharply.
+  const int p = 4;
+  const Index cols0 = 8;
+  const Index cols = 6;
+  const auto job = [&](Communicator& comm, int updates,
+                       std::array<std::optional<FaultReport>, 4>& reports,
+                       Index* modes_rows) {
+    const auto r = static_cast<std::uint64_t>(comm.rank());
+    const Index rows = 10 + comm.rank();  // uneven partitions
+    StreamingOptions opts;
+    opts.num_modes = 5;
+    opts.fault_tolerant = true;
+    ParallelStreamingSVD svd(comm, opts, TsqrVariant::Direct);
+    svd.initialize(testing::random_matrix(rows, cols0, 70 + r));
+    for (int i = 0; i < updates; ++i) {
+      svd.incorporate_data(testing::random_matrix(
+          rows, cols, 100 + 10 * static_cast<std::uint64_t>(i) + r));
+    }
+    // Survivors can still project a distributed batch afterwards.
+    const Matrix coeff =
+        svd.project(testing::random_matrix(rows, cols, 500 + r));
+    EXPECT_EQ(coeff.rows(), 5);
+    EXPECT_EQ(coeff.cols(), cols);
+    reports[static_cast<std::size_t>(comm.rank())] = svd.fault_report();
+    if (comm.is_root() && modes_rows != nullptr) {
+      *modes_rows = svd.modes().rows();
+    }
+  };
+
+  // Probe run (healthy, one update) pins the op count at which the
+  // second update starts for rank 1 — the fault schedule is a pure
+  // function of the per-rank op sequence, so this is exact.
+  auto probe = std::make_shared<Context>(p);
+  std::array<std::optional<FaultReport>, 4> probe_reports;
+  pmpi::run_on(probe, [&](Communicator& comm) {
+    job(comm, 1, probe_reports, nullptr);
+  });
+  for (const auto& rep : probe_reports) {
+    ASSERT_TRUE(rep.has_value());
+    EXPECT_FALSE(rep->degraded);
+    EXPECT_EQ(rep->coverage, 1.0);
+    EXPECT_EQ(rep->accuracy_bound, 0.0);
+  }
+  const std::uint64_t kill_at = probe->ops(1);
+
+  FaultPlan plan;
+  plan.kill_rank(1, kill_at);
+  auto ctx = make_ctx(p, std::move(plan));
+  std::array<std::optional<FaultReport>, 4> reports;
+  Index modes_rows = -1;
+  pmpi::run_on(ctx, [&](Communicator& comm) {
+    job(comm, 2, reports, &modes_rows);
+  });
+
+  EXPECT_EQ(ctx->dead_ranks(), std::vector<int>{1});
+  EXPECT_FALSE(reports[1].has_value());
+  const Index total_rows = 10 + 11 + 12 + 13;
+  const Index lost_rows = 11;
+  for (int r : {0, 2, 3}) {
+    const auto& rep = reports[static_cast<std::size_t>(r)];
+    ASSERT_TRUE(rep.has_value()) << "rank " << r;
+    EXPECT_TRUE(rep->degraded);
+    EXPECT_EQ(rep->dead_ranks, std::vector<int>{1});
+    EXPECT_TRUE(rep->extent_known);
+    EXPECT_EQ(rep->lost_rows, lost_rows);
+    EXPECT_EQ(rep->surviving_rows, total_rows - lost_rows);
+    EXPECT_GT(rep->coverage, 0.0);
+    EXPECT_LT(rep->coverage, 1.0);
+    EXPECT_NEAR(rep->accuracy_bound, std::sqrt(1.0 - rep->coverage), 1e-12);
+  }
+  // Root's gathered modes cover exactly the surviving partitions.
+  EXPECT_EQ(modes_rows, total_rows - lost_rows);
+}
+
+}  // namespace
+}  // namespace parsvd

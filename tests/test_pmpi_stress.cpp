@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <thread>
 
 #include "pmpi/comm.hpp"
 #include "support/rng.hpp"
@@ -128,6 +130,92 @@ TEST(PmpiStress, LargePayloadsSurvive) {
     const Matrix expected = testing::random_matrix(1024, 256, 2002);
     EXPECT_DOUBLE_EQ(max_abs_diff(back, expected), 0.0);
   });
+}
+
+TEST(PmpiStress, PayloadCapRejectsOversizedSend) {
+  // A send above the per-message cap must fail with a typed CommError at
+  // the sender — not corrupt the mailbox or stall the receiver — and the
+  // channel must remain usable afterwards.
+  auto ctx = std::make_shared<pmpi::Context>(2);
+  ctx->set_max_payload_bytes(1024);
+  pmpi::run_on(ctx, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<double> big(4096, 1.0);  // 32 KiB > 1 KiB cap
+      bool threw = false;
+      try {
+        comm.send<double>(big, 1, 7);
+      } catch (const CommError&) {
+        threw = true;
+      }
+      EXPECT_TRUE(threw) << "oversized send<double> was accepted";
+
+      threw = false;
+      try {
+        comm.send_matrix(Matrix(64, 64), 1, 8);
+      } catch (const CommError&) {
+        threw = true;
+      }
+      EXPECT_TRUE(threw) << "oversized send_matrix was accepted";
+
+      // The failed sends must not have consumed sequence numbers or left
+      // partial messages behind: a conforming send still goes through.
+      comm.send<int>(std::vector<int>{42}, 1, 9);
+    } else {
+      EXPECT_EQ(comm.recv<int>(0, 9).at(0), 42);
+    }
+  });
+}
+
+TEST(PmpiStress, EmptyPayloadStillTravelsUnderTightCap) {
+  // The cap bounds oversized messages only; zero-byte payloads (empty
+  // matrices travel as shape-only headers plus no data) must still pass.
+  auto ctx = std::make_shared<pmpi::Context>(2);
+  ctx->set_max_payload_bytes(64);
+  pmpi::run_on(ctx, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send<double>(std::vector<double>{}, 1, 3);
+    } else {
+      EXPECT_TRUE(comm.recv<double>(0, 3).empty());
+    }
+  });
+}
+
+TEST(PmpiStress, AbortDuringBarrierWakesEveryRankExactlyOnce) {
+  // abort_job() fired while other ranks sit inside barrier() must wake
+  // each of them with exactly one JobAbortedError — no hang, no double
+  // delivery. Repeated across fresh contexts to catch lost-wakeup races.
+  constexpr int kIters = 25;
+  const int p = 4;
+  for (int iter = 0; iter < kIters; ++iter) {
+    std::atomic<int> aborted_throws{0};
+    std::atomic<int> other_throws{0};
+    auto ctx = std::make_shared<pmpi::Context>(p);
+    try {
+      pmpi::run_on(ctx, [&](Communicator& comm) {
+        if (comm.rank() == 0) {
+          // Give the other ranks time to block inside barrier().
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          comm.context().abort_job();
+          return;
+        }
+        try {
+          comm.barrier();
+          ADD_FAILURE() << "barrier returned after abort, iter " << iter;
+        } catch (const JobAbortedError&) {
+          aborted_throws.fetch_add(1);
+          throw;
+        } catch (...) {
+          other_throws.fetch_add(1);
+          throw;
+        }
+      });
+      ADD_FAILURE() << "run_on did not surface the abort, iter " << iter;
+    } catch (const JobAbortedError&) {
+      // Expected: every non-aborting rank saw the abort.
+    }
+    EXPECT_EQ(aborted_throws.load(), p - 1) << "iter " << iter;
+    EXPECT_EQ(other_throws.load(), 0) << "iter " << iter;
+  }
 }
 
 TEST(PmpiStress, ConcurrentJobsDoNotInterfere) {

@@ -212,7 +212,9 @@ TEST(AsciiHeatmap, ConstantFieldUniform) {
   // All cells render the same character.
   char c = art[0];
   for (char ch : art) {
-    if (ch != '\n') EXPECT_EQ(ch, c);
+    if (ch != '\n') {
+      EXPECT_EQ(ch, c);
+    }
   }
 }
 

@@ -70,7 +70,9 @@ TEST_P(SerialStreamingSweep, StructuralInvariants) {
   const Vector& sv = s.singular_values();
   for (Index i = 0; i < sv.size(); ++i) {
     EXPECT_GE(sv[i], 0.0);
-    if (i > 0) EXPECT_GE(sv[i - 1], sv[i] - 1e-12);
+    if (i > 0) {
+      EXPECT_GE(sv[i - 1], sv[i] - 1e-12);
+    }
   }
 
   // ff = 1 tracks the batch SVD's leading values (loose bound: the

@@ -253,7 +253,9 @@ TEST_P(SvdSweep, Invariants) {
   // σ descending, non-negative.
   for (Index i = 0; i < f.s.size(); ++i) {
     EXPECT_GE(f.s[i], 0.0);
-    if (i > 0) EXPECT_GE(f.s[i - 1], f.s[i] - 1e-12);
+    if (i > 0) {
+      EXPECT_GE(f.s[i - 1], f.s[i] - 1e-12);
+    }
   }
   // Orthonormal factors (MOS loses precision near machine-eps spectra
   // but Gaussian matrices are well conditioned).
