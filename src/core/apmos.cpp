@@ -7,6 +7,8 @@
 
 #include "core/randomized.hpp"
 #include "linalg/blas.hpp"
+#include "pmpi/request.hpp"
+#include "pmpi/tags.hpp"
 
 namespace parsvd {
 
@@ -27,6 +29,18 @@ ApmosResult apmos_svd(pmpi::Communicator& comm, const Matrix& a_local,
                       const ApmosOptions& opts, Rng* rng) {
   opts.validate();
   PARSVD_REQUIRE(!a_local.empty(), "apmos of an empty local block");
+
+  // The Stage-3 receive schedule is static — root takes one W block
+  // from every other rank — so root posts the whole gather BEFORE its
+  // own Stage-1/2 factorization: the other ranks' blocks land while
+  // root is busy in its local SVD.
+  std::vector<pmpi::Request> w_reqs;
+  if (!opts.fault_tolerant && comm.is_root() && comm.size() > 1) {
+    w_reqs.reserve(static_cast<std::size_t>(comm.size() - 1));
+    for (int src = 1; src < comm.size(); ++src) {
+      w_reqs.push_back(comm.irecv(src, pmpi::tags::apmos_w()));
+    }
+  }
 
   // Stages 1-2: local right vectors scaled by singular values.
   auto [vlocal, slocal] =
@@ -71,9 +85,8 @@ ApmosResult apmos_svd(pmpi::Communicator& comm, const Matrix& a_local,
     const double meta[2] = {static_cast<double>(a_local.rows()), frob * frob};
     std::vector<std::byte> payload(sizeof(meta));
     std::memcpy(payload.data(), meta, sizeof(meta));
-    const std::vector<std::byte> packed = pmpi::pack_matrix(wlocal);
-    payload.insert(payload.end(), packed.begin(), packed.end());
-    const auto raw = comm.gather_bytes_ft(payload, 0);
+    pmpi::pack_matrix_into(wlocal, payload);
+    const auto raw = comm.gather_bytes_ft(std::move(payload), 0);
 
     if (comm.is_root()) {
       std::vector<Matrix> blocks;
@@ -114,12 +127,22 @@ ApmosResult apmos_svd(pmpi::Communicator& comm, const Matrix& a_local,
     comm.bcast_doubles_ft(flat, 0);
     report = FaultReport::from_doubles(flat);
   } else {
-    // Stage 3: gather W at rank 0 (column-wise concatenation).
-    std::vector<Matrix> blocks = comm.gather_matrices(wlocal, 0);
+    // Stage 3: gather W at rank 0 (column-wise concatenation). Root
+    // consumes the receives it posted before Stage 1 in completion
+    // order; non-roots ship their block as a buffered isend and move
+    // straight on to the result broadcast.
     if (comm.is_root()) {
+      std::vector<Matrix> blocks(static_cast<std::size_t>(comm.size()));
+      blocks[0] = std::move(wlocal);
+      for (std::size_t n = 0; n < w_reqs.size(); ++n) {
+        const std::size_t which = pmpi::wait_any(w_reqs);
+        blocks[which + 1] = w_reqs[which].take_matrix();
+      }
       SvdResult f = root_svd(hcat(blocks));
       x = std::move(f.u);
       lambda = std::move(f.s);
+    } else {
+      comm.isend_matrix(wlocal, 0, pmpi::tags::apmos_w());
     }
     comm.bcast_matrix(x, 0);
     {

@@ -5,15 +5,18 @@
 
 #include "linalg/blas.hpp"
 #include "linalg/qr.hpp"
+#include "pmpi/request.hpp"
+#include "pmpi/tags.hpp"
 #include "support/log.hpp"
 
 namespace parsvd {
 namespace {
 
-// Tag bases for the tree variant's per-level exchanges; the direct
-// variant uses the collectives' internal tags.
-constexpr int kTagTreeUp = 100;
-constexpr int kTagTreeDown = 200;
+// Wire tags come from the pmpi registry: the tree variant owns the
+// kTsqrUpBase/kTsqrDownBase bands (one tag per level); the direct
+// variant reuses the down-sweep band for its Q-slice scatter.
+using pmpi::tags::tsqr_down;
+using pmpi::tags::tsqr_up;
 
 TsqrResult tsqr_direct(pmpi::Communicator& comm, const Matrix& a_local) {
   const int p = comm.size();
@@ -43,14 +46,14 @@ TsqrResult tsqr_direct(pmpi::Communicator& comm, const Matrix& a_local) {
       if (dst == 0) {
         my_slice = std::move(slice);
       } else {
-        comm.send_matrix(slice, dst, kTagTreeDown);
+        comm.send_matrix(slice, dst, tsqr_down(0));
       }
     }
     comm.bcast_matrix(r_final, 0);
     return {matmul(local.q, my_slice), std::move(r_final), {}};
   }
 
-  Matrix my_slice = comm.recv_matrix(0, kTagTreeDown);
+  Matrix my_slice = comm.recv_matrix(0, tsqr_down(0));
   comm.bcast_matrix(r_final, 0);
   return {matmul(local.q, my_slice), std::move(r_final), {}};
 }
@@ -98,11 +101,11 @@ TsqrResult tsqr_direct_ft(pmpi::Communicator& comm, const Matrix& a_local) {
       if (dst == 0) {
         my_slice = std::move(slice);
       } else {
-        comm.send_matrix(slice, dst, kTagTreeDown);
+        comm.send_matrix(slice, dst, tsqr_down(0));
       }
     }
   } else {
-    my_slice = comm.recv_matrix(0, kTagTreeDown);
+    my_slice = comm.recv_matrix(0, tsqr_down(0));
   }
   comm.bcast_matrix_ft(r_final, 0);
   comm.bcast_doubles_ft(excluded, 0);
@@ -117,13 +120,54 @@ TsqrResult tsqr_tree(pmpi::Communicator& comm, const Matrix& a_local) {
   const int p = comm.size();
   const int rank = comm.rank();
 
-  QrResult local = qr_thin(a_local);
   if (p == 1) {
+    QrResult local = qr_thin(a_local);
     return {std::move(local.q), std::move(local.r), {}};
   }
 
-  // Upward sweep: pairwise R combination. A rank is "active" at level l
-  // when rank % 2^(l+1) == 0; its partner is rank + 2^l.
+  // A rank's whole exchange schedule is a pure function of (rank, p): it
+  // is "active" at level l while rank % 2^(l+1) == 0, receiving from
+  // partner rank + 2^l, and ships its R upward at the level of its
+  // lowest set bit. That makes every receive postable BEFORE the local
+  // panel factorization, so partners' R factors (and eventually the
+  // parent's down-sweep transform) arrive while this rank is busy in
+  // qr_thin — the up-sweep pipelining this variant exists for.
+  struct LevelPlan {
+    int level;
+    int partner;
+  };
+  std::vector<LevelPlan> plan;
+  int sent_level = -1;  // level at which we ship our R upward
+  int parent = -1;
+  for (int level = 0; (1 << level) < p; ++level) {
+    const int stride = 1 << level;
+    if (rank % (2 * stride) != 0) {
+      sent_level = level;
+      parent = rank - stride;
+      break;
+    }
+    const int partner = rank + stride;
+    if (partner >= p) continue;  // unpaired at this level; stay active
+    plan.push_back({level, partner});
+  }
+
+  std::vector<pmpi::Request> up_reqs;
+  up_reqs.reserve(plan.size());
+  for (const LevelPlan& step : plan) {
+    up_reqs.push_back(comm.irecv(step.partner, tsqr_up(step.level)));
+  }
+  pmpi::Request t_req;
+  if (rank != 0) {
+    // The down-sweep transform from the parent is on a statically known
+    // channel too; posting it now costs nothing and completes the
+    // rank's whole receive schedule before any compute.
+    t_req = comm.irecv(parent, tsqr_down(sent_level));
+  }
+
+  QrResult local = qr_thin(a_local);
+
+  // Upward sweep: pairwise R combination, consuming the pre-posted
+  // receives in level order.
   struct LevelRecord {
     Index rows_mine;     // rows contributed by our subtree's R
     Index rows_partner;  // rows contributed by the partner's R
@@ -132,25 +176,21 @@ TsqrResult tsqr_tree(pmpi::Communicator& comm, const Matrix& a_local) {
     int level;           // tree level (levels with no in-range partner skip)
   };
   std::vector<LevelRecord> records;
+  records.reserve(plan.size());
   Matrix r_mine = local.r;
-  int sent_level = -1;  // level at which we shipped our R upward
-
-  for (int level = 0; (1 << level) < p; ++level) {
-    const int stride = 1 << level;
-    if (rank % (2 * stride) != 0) {
-      comm.send_matrix(r_mine, rank - stride, kTagTreeUp + level);
-      sent_level = level;
-      break;
-    }
-    const int partner = rank + stride;
-    if (partner >= p) continue;  // unpaired at this level; stay active
-    Matrix r_partner = comm.recv_matrix(partner, kTagTreeUp + level);
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    up_reqs[i].wait();
+    Matrix r_partner = up_reqs[i].take_matrix();
     const Index rows_mine = r_mine.rows();
     const Index rows_partner = r_partner.rows();
     QrResult combined = qr_thin(vcat(r_mine, r_partner));
     records.push_back(LevelRecord{rows_mine, rows_partner,
-                                  std::move(combined.q), partner, level});
+                                  std::move(combined.q), plan[i].partner,
+                                  plan[i].level});
     r_mine = std::move(combined.r);
+  }
+  if (sent_level >= 0) {
+    comm.send_matrix(r_mine, parent, tsqr_up(sent_level));
   }
 
   // Downward sweep: unwind accumulated transforms. The final R lives at
@@ -162,14 +202,14 @@ TsqrResult tsqr_tree(pmpi::Communicator& comm, const Matrix& a_local) {
     t = Matrix::identity(r_mine.rows());
   } else {
     // Our transform arrives from the partner we sent our R to.
-    const int parent = rank - (1 << sent_level);
-    t = comm.recv_matrix(parent, kTagTreeDown + sent_level);
+    t_req.wait();
+    t = t_req.take_matrix();
   }
   for (auto it = records.rbegin(); it != records.rend(); ++it) {
     const Matrix q_top = it->q_comb.block(0, 0, it->rows_mine, it->q_comb.cols());
     const Matrix q_bot = it->q_comb.block(it->rows_mine, 0, it->rows_partner,
                                           it->q_comb.cols());
-    comm.send_matrix(matmul(q_bot, t), it->partner, kTagTreeDown + it->level);
+    comm.send_matrix(matmul(q_bot, t), it->partner, tsqr_down(it->level));
     t = matmul(q_top, t);
   }
   comm.bcast_matrix(r_final, 0);

@@ -1,6 +1,7 @@
 #include "pmpi/comm.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 #include <string>
 #include <thread>
@@ -27,6 +28,24 @@ Context::Context(int size)
       std::max<std::int64_t>(0, env::get_int("PARSVD_FAULT_RETRIES", 3)));
   const std::int64_t max_mb = env::get_int("PARSVD_MAX_PAYLOAD_MB", 0);
   if (max_mb > 0) max_payload_ = static_cast<std::uint64_t>(max_mb) << 20;
+  const std::string algo = env::get_string("PARSVD_COMM_ALGO", "auto");
+  if (algo == "flat") {
+    collective_algo_.store(CollectiveAlgo::Flat, std::memory_order_relaxed);
+  } else if (algo == "tree") {
+    collective_algo_.store(CollectiveAlgo::Tree, std::memory_order_relaxed);
+  } else if (algo != "auto") {
+    throw ConfigError("PARSVD_COMM_ALGO must be auto, flat or tree (got '" +
+                      algo + "')");
+  }
+  eager_bytes_.store(
+      static_cast<std::uint64_t>(std::max<std::int64_t>(
+          0, env::get_int("PARSVD_COMM_EAGER_BYTES",
+                          static_cast<std::int64_t>(std::uint64_t{1} << 14)))),
+      std::memory_order_relaxed);
+  tree_min_ranks_.store(
+      static_cast<int>(std::max<std::int64_t>(
+          2, env::get_int("PARSVD_COMM_TREE_MIN_RANKS", 8))),
+      std::memory_order_relaxed);
   FaultPlan env_plan = FaultPlan::from_env();
   if (!env_plan.empty()) set_fault_plan(std::move(env_plan));
 }
@@ -213,17 +232,13 @@ void Context::post(int src, int dest, int tag, std::vector<std::byte> payload) {
   box.cv.notify_all();
 }
 
-std::vector<std::byte> Context::wait(int dest, int src, int tag) {
-  PARSVD_REQUIRE(dest >= 0 && dest < size_, "wait: dest out of range");
-  PARSVD_REQUIRE(src >= 0 && src < size_, "wait: src out of range");
-  account_op(dest);
-  Mailbox& box = *boxes_[static_cast<std::size_t>(dest)];
+bool Context::scan_channel_locked(Mailbox& box, int dest, int src, int tag,
+                                  std::vector<std::byte>* out,
+                                  Clock::time_point* next_deliverable) {
   const ChannelKey key{src, tag};
-  std::unique_lock<std::mutex> lock(box.mu);
-
   const bool rel = reliability();
   // Only this rank's thread consumes from this mailbox, so the expected
-  // sequence number is stable for the duration of the call.
+  // sequence number is stable for the duration of the scan.
   const std::uint64_t expected = rel ? box.recv_seq[key] : 0;
 
   // Consume `payload` as the channel's next message: advance the
@@ -240,8 +255,184 @@ std::vector<std::byte> Context::wait(int dest, int src, int tag) {
         if (chan->second.empty()) box.log.erase(chan);
       }
     }
-    return payload;
+    *out = std::move(payload);
   };
+
+  // Fetched lazily: only delayed-fault messages carry a non-epoch
+  // deliver_after, so the scan normally needs no clock read at all.
+  Clock::time_point now{};
+  // NOTE: the stale-duplicate erase below invalidates deque end()
+  // iterators, so the candidate must be tracked with a flag rather
+  // than compared against a sentinel captured before the scan.
+  auto it = box.queue.end();
+  bool found = false;
+  for (auto cur = box.queue.begin(); cur != box.queue.end();) {
+    if (cur->src != src || cur->tag != tag) {
+      ++cur;
+      continue;
+    }
+    if (rel && cur->seq < expected) {
+      // Stale duplicate of an already-consumed message.
+      log::trace("pmpi: dropping duplicate seq=", cur->seq, " src=", src,
+                 " dest=", dest, " tag=", tag);
+      cur = box.queue.erase(cur);
+      continue;
+    }
+    if (rel && cur->seq > expected) {
+      // A successor arrived before the expected message; the gap is
+      // recovered from the retransmit log below.
+      ++cur;
+      continue;
+    }
+    if (cur->deliver_after != Clock::time_point{}) {
+      if (now == Clock::time_point{}) now = Clock::now();
+      if (cur->deliver_after > now) {
+        *next_deliverable = std::min(*next_deliverable, cur->deliver_after);
+        ++cur;
+        continue;
+      }
+    }
+    it = cur;
+    found = true;
+    break;
+  }
+  if (found) {
+    if (rel &&
+        payload_checksum(it->payload.data(), it->payload.size()) !=
+            it->checksum) {
+      // Corrupted on the wire: retransmit from the sender's copy.
+      bool recovered = false;
+      auto chan = box.log.find(key);
+      if (chan != box.log.end()) {
+        auto entry = chan->second.find(it->seq);
+        if (entry != chan->second.end()) {
+          retransmits_.fetch_add(1, std::memory_order_relaxed);
+          log::debug("pmpi: checksum mismatch, retransmitting seq=", it->seq,
+                     " src=", src, " dest=", dest, " tag=", tag);
+          it->payload = entry->second;
+          recovered = true;
+        }
+      }
+      if (!recovered) {
+        throw CommError(
+            "pmpi: checksum mismatch with no retransmit copy (src " +
+            std::to_string(src) + " -> dest " + std::to_string(dest) +
+            ", tag " + std::to_string(tag) + ", seq " +
+            std::to_string(it->seq) + ", " +
+            std::to_string(it->payload.size()) + " bytes)");
+      }
+    }
+    std::vector<std::byte> payload = std::move(it->payload);
+    box.queue.erase(it);
+    consume(std::move(payload));
+    return true;
+  }
+  if (rel) {
+    // Nothing deliverable in the queue; if the sender already posted
+    // the expected message and the fault layer swallowed it, recover
+    // it straight from the retransmit log.
+    auto chan = box.log.find(key);
+    if (chan != box.log.end()) {
+      auto entry = chan->second.find(expected);
+      if (entry != chan->second.end()) {
+        retransmits_.fetch_add(1, std::memory_order_relaxed);
+        log::debug("pmpi: recovering dropped seq=", expected, " src=", src,
+                   " dest=", dest, " tag=", tag);
+        std::vector<std::byte> payload = std::move(entry->second);
+        consume(std::move(payload));
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<std::byte> Context::wait(int dest, int src, int tag) {
+  account_op(dest);
+#ifndef NDEBUG
+  {
+    // A blocking receive racing an outstanding irecv on the same channel
+    // would steal its message: same channel-discipline violation as two
+    // overlapping irecvs.
+    std::lock_guard<std::mutex> lock(irecv_mu_);
+    if (open_irecvs_.count({dest, src, tag}) != 0) {
+      throw CommError(
+          "pmpi: blocking receive overlaps an outstanding non-blocking "
+          "receive on channel (dest " +
+          std::to_string(dest) + " <- src " + std::to_string(src) + ", tag " +
+          std::to_string(tag) + ")");
+    }
+  }
+#endif
+  const Channel channel{src, tag};
+  return wait_any_impl(dest, std::span<const Channel>(&channel, 1)).second;
+}
+
+std::optional<std::vector<std::byte>> Context::try_wait(int dest, int src,
+                                                        int tag) {
+  PARSVD_REQUIRE(dest >= 0 && dest < size_, "try_wait: dest out of range");
+  PARSVD_REQUIRE(src >= 0 && src < size_, "try_wait: src out of range");
+  Mailbox& box = *boxes_[static_cast<std::size_t>(dest)];
+  std::lock_guard<std::mutex> lock(box.mu);
+  std::vector<std::byte> out;
+  Clock::time_point next_deliverable = Clock::time_point::max();
+  if (scan_channel_locked(box, dest, src, tag, &out, &next_deliverable)) {
+    return out;
+  }
+  if (aborted()) {
+    throw JobAbortedError("communicator aborted while polling for a message");
+  }
+  // A delayed-fault message still scheduled for delivery counts as "in
+  // flight", so a dead source with one pending is not yet an error.
+  if (is_dead(src) && next_deliverable == Clock::time_point::max()) {
+    throw RankDeadError("pmpi: rank " + std::to_string(dest) +
+                        " polling dead rank " + std::to_string(src) +
+                        " (tag " + std::to_string(tag) + ")");
+  }
+  return std::nullopt;
+}
+
+std::pair<std::size_t, std::vector<std::byte>> Context::wait_any(
+    int dest, std::span<const Channel> channels) {
+  return wait_any_impl(dest, channels);
+}
+
+void Context::register_irecv(int dest, int src, int tag) {
+#ifndef NDEBUG
+  std::lock_guard<std::mutex> lock(irecv_mu_);
+  if (!open_irecvs_.insert({dest, src, tag}).second) {
+    throw CommError(
+        "pmpi: concurrent non-blocking receives share channel (dest " +
+        std::to_string(dest) + " <- src " + std::to_string(src) + ", tag " +
+        std::to_string(tag) + ")");
+  }
+#else
+  (void)dest;
+  (void)src;
+  (void)tag;
+#endif
+}
+
+void Context::unregister_irecv(int dest, int src, int tag) {
+#ifndef NDEBUG
+  std::lock_guard<std::mutex> lock(irecv_mu_);
+  open_irecvs_.erase({dest, src, tag});
+#else
+  (void)dest;
+  (void)src;
+  (void)tag;
+#endif
+}
+
+std::pair<std::size_t, std::vector<std::byte>> Context::wait_any_impl(
+    int dest, std::span<const Channel> channels) {
+  PARSVD_REQUIRE(dest >= 0 && dest < size_, "wait: dest out of range");
+  PARSVD_REQUIRE(!channels.empty(), "wait: no channels to wait on");
+  for (const Channel& c : channels) {
+    PARSVD_REQUIRE(c.src >= 0 && c.src < size_, "wait: src out of range");
+  }
+  Mailbox& box = *boxes_[static_cast<std::size_t>(dest)];
+  std::unique_lock<std::mutex> lock(box.mu);
 
   const bool bounded = wait_timeout_.count() > 0;
   // Deadlines run on the watchdog's coarse tick counter: arming and
@@ -262,98 +453,37 @@ std::vector<std::byte> Context::wait(int dest, int src, int tag) {
   int retries_left = max_retries_;
 
   for (;;) {
-    // Fetched lazily: only delayed-fault messages carry a non-epoch
-    // deliver_after, so the scan normally needs no clock read at all.
-    Clock::time_point now{};
     Clock::time_point next_deliverable = Clock::time_point::max();
-    // NOTE: the stale-duplicate erase below invalidates deque end()
-    // iterators, so the candidate must be tracked with a flag rather
-    // than compared against a sentinel captured before the scan.
-    auto it = box.queue.end();
-    bool found = false;
-    for (auto cur = box.queue.begin(); cur != box.queue.end();) {
-      if (cur->src != src || cur->tag != tag) {
-        ++cur;
-        continue;
-      }
-      if (rel && cur->seq < expected) {
-        // Stale duplicate of an already-consumed message.
-        log::trace("pmpi: dropping duplicate seq=", cur->seq, " src=", src,
-                   " dest=", dest, " tag=", tag);
-        cur = box.queue.erase(cur);
-        continue;
-      }
-      if (rel && cur->seq > expected) {
-        // A successor arrived before the expected message; the gap is
-        // recovered from the retransmit log below.
-        ++cur;
-        continue;
-      }
-      if (cur->deliver_after != Clock::time_point{}) {
-        if (now == Clock::time_point{}) now = Clock::now();
-        if (cur->deliver_after > now) {
-          next_deliverable = std::min(next_deliverable, cur->deliver_after);
-          ++cur;
-          continue;
-        }
-      }
-      it = cur;
-      found = true;
-      break;
-    }
-    if (found) {
-      if (rel &&
-          payload_checksum(it->payload.data(), it->payload.size()) !=
-              it->checksum) {
-        // Corrupted on the wire: retransmit from the sender's copy.
-        bool recovered = false;
-        auto chan = box.log.find(key);
-        if (chan != box.log.end()) {
-          auto entry = chan->second.find(it->seq);
-          if (entry != chan->second.end()) {
-            retransmits_.fetch_add(1, std::memory_order_relaxed);
-            log::debug("pmpi: checksum mismatch, retransmitting seq=",
-                       it->seq, " src=", src, " dest=", dest, " tag=", tag);
-            it->payload = entry->second;
-            recovered = true;
-          }
-        }
-        if (!recovered) {
-          throw CommError(
-              "pmpi: checksum mismatch with no retransmit copy (src " +
-              std::to_string(src) + " -> dest " + std::to_string(dest) +
-              ", tag " + std::to_string(tag) + ", seq " +
-              std::to_string(it->seq) + ", " +
-              std::to_string(it->payload.size()) + " bytes)");
-        }
-      }
-      std::vector<std::byte> payload = std::move(it->payload);
-      box.queue.erase(it);
-      return consume(std::move(payload));
-    }
-    if (rel) {
-      // Nothing deliverable in the queue; if the sender already posted
-      // the expected message and the fault layer swallowed it, recover
-      // it straight from the retransmit log.
-      auto chan = box.log.find(key);
-      if (chan != box.log.end()) {
-        auto entry = chan->second.find(expected);
-        if (entry != chan->second.end()) {
-          retransmits_.fetch_add(1, std::memory_order_relaxed);
-          log::debug("pmpi: recovering dropped seq=", expected, " src=", src,
-                     " dest=", dest, " tag=", tag);
-          std::vector<std::byte> payload = std::move(entry->second);
-          return consume(std::move(payload));
-        }
+    for (std::size_t i = 0; i < channels.size(); ++i) {
+      std::vector<std::byte> out;
+      if (scan_channel_locked(box, dest, channels[i].src, channels[i].tag,
+                              &out, &next_deliverable)) {
+        return {i, std::move(out)};
       }
     }
     if (aborted()) {
       throw JobAbortedError("communicator aborted while waiting for a message");
     }
-    if (is_dead(src)) {
+    // Messages already posted by a now-dead rank are still consumable
+    // (the scans above), so the wait only fails once EVERY queried
+    // source is dead with nothing recoverable in flight.
+    bool any_alive = false;
+    for (const Channel& c : channels) {
+      if (!is_dead(c.src)) {
+        any_alive = true;
+        break;
+      }
+    }
+    if (!any_alive && next_deliverable == Clock::time_point::max()) {
+      if (channels.size() == 1) {
+        throw RankDeadError("pmpi: rank " + std::to_string(dest) +
+                            " waiting on dead rank " +
+                            std::to_string(channels[0].src) + " (tag " +
+                            std::to_string(channels[0].tag) + ")");
+      }
       throw RankDeadError("pmpi: rank " + std::to_string(dest) +
-                          " waiting on dead rank " + std::to_string(src) +
-                          " (tag " + std::to_string(tag) + ")");
+                          " waiting on " + std::to_string(channels.size()) +
+                          " channels whose source ranks are all dead");
     }
     if (bounded) {
       // Expiry is only ever evaluated here — when the rank is about to
@@ -367,8 +497,9 @@ std::vector<std::byte> Context::wait(int dest, int src, int tag) {
         if (retries_left > 0) {
           --retries_left;
           const std::chrono::milliseconds extension = backoff.next();
-          log::debug("pmpi: wait timed out (dest ", dest, " <- src ", src,
-                     ", tag ", tag, "), extending deadline by ",
+          log::debug("pmpi: wait timed out (dest ", dest, " <- src ",
+                     channels[0].src, ", tag ", channels[0].tag, " [",
+                     channels.size(), " channel(s)]), extending deadline by ",
                      extension.count(), " ms");
           deadline_tick = t + ticks_for(extension);
         } else {
@@ -376,8 +507,10 @@ std::vector<std::byte> Context::wait(int dest, int src, int tag) {
               "pmpi: receive timed out after " +
               std::to_string(wait_timeout_.count()) + " ms and " +
               std::to_string(max_retries_) + " retries (dest " +
-              std::to_string(dest) + " <- src " + std::to_string(src) +
-              ", tag " + std::to_string(tag) + ")");
+              std::to_string(dest) + " <- src " +
+              std::to_string(channels[0].src) + ", tag " +
+              std::to_string(channels[0].tag) + ", " +
+              std::to_string(channels.size()) + " channel(s))");
         }
       }
     }
@@ -470,14 +603,21 @@ std::vector<std::byte> Communicator::recv_bytes(int src, int tag) {
   return ctx_->wait(rank_, src, tag);
 }
 
-std::vector<std::byte> pack_matrix(const Matrix& m) {
+void pack_matrix_into(const Matrix& m, std::vector<std::byte>& out) {
   const std::int64_t header[2] = {static_cast<std::int64_t>(m.rows()),
                                   static_cast<std::int64_t>(m.cols())};
-  std::vector<std::byte> payload(sizeof(header) +
-                                 static_cast<std::size_t>(m.size()) * sizeof(double));
-  std::memcpy(payload.data(), header, sizeof(header));
-  std::memcpy(payload.data() + sizeof(header), m.data(),
-              static_cast<std::size_t>(m.size()) * sizeof(double));
+  const std::size_t body = static_cast<std::size_t>(m.size()) * sizeof(double);
+  const std::size_t base = out.size();
+  out.resize(base + sizeof(header) + body);
+  std::memcpy(out.data() + base, header, sizeof(header));
+  std::memcpy(out.data() + base + sizeof(header), m.data(), body);
+}
+
+std::vector<std::byte> pack_matrix(const Matrix& m) {
+  std::vector<std::byte> payload;
+  payload.reserve(2 * sizeof(std::int64_t) +
+                  static_cast<std::size_t>(m.size()) * sizeof(double));
+  pack_matrix_into(m, payload);
   return payload;
 }
 
@@ -508,6 +648,26 @@ Matrix Communicator::recv_matrix(int src, int tag) {
   return unpack_matrix(recv_bytes(src, tag));
 }
 
+Request Communicator::isend_matrix(const Matrix& m, int dest, int tag) {
+  check_peer(dest);
+  check_tag(tag);
+  check_payload(2 * sizeof(std::int64_t) +
+                static_cast<std::size_t>(m.size()) * sizeof(double));
+  ctx_->post(rank_, dest, tag, pack_matrix(m));
+  return Request(ctx_, Request::Kind::Send, rank_, dest, tag, /*done=*/true);
+}
+
+Request Communicator::irecv(int src, int tag) {
+  check_peer(src);
+  check_tag(tag);
+  // The op is accounted NOW, not when the message is consumed, so a
+  // deterministic fault schedule sees the same per-rank op sequence no
+  // matter how often the request is polled before completion.
+  ctx_->account_op(rank_);
+  ctx_->register_irecv(rank_, src, tag);
+  return Request(ctx_, Request::Kind::Recv, rank_, src, tag, /*done=*/false);
+}
+
 void Communicator::bcast_matrix(Matrix& m, int root) {
   std::vector<std::byte> payload;
   if (rank_ == root) payload = pack_matrix(m);
@@ -527,21 +687,179 @@ void Communicator::bcast_index(Index& value, int root) {
   value = static_cast<Index>(buf.at(0));
 }
 
-std::vector<Matrix> Communicator::gather_matrices(const Matrix& local, int root) {
-  check_peer(root);
-  if (rank_ != root) {
-    send_bytes(pack_matrix(local), root, kTagGather);
-    return {};
+// --------------------------------------------- collective topology policy
+
+bool Communicator::use_tree_gather() const {
+  switch (ctx_->collective_algo()) {
+    case CollectiveAlgo::Flat:
+      return false;
+    case CollectiveAlgo::Tree:
+      return size() > 2;  // at p <= 2 the tree IS the flat topology
+    case CollectiveAlgo::Auto:
+      // Rank count is the only input every rank is guaranteed to agree
+      // on (per-rank contribution sizes may straddle any byte
+      // threshold), so Auto switches on it alone.
+      return size() >= ctx_->tree_min_ranks();
   }
-  std::vector<Matrix> out;
-  out.reserve(static_cast<std::size_t>(size()));
-  for (int src = 0; src < size(); ++src) {
-    if (src == root) {
-      out.push_back(local);
+  return false;
+}
+
+bool Communicator::use_tree_reduce(std::size_t bytes) const {
+  switch (ctx_->collective_algo()) {
+    case CollectiveAlgo::Flat:
+      return false;
+    case CollectiveAlgo::Tree:
+      return size() > 2;
+    case CollectiveAlgo::Auto:
+      // reduce/allreduce lengths are symmetric by API contract, so a
+      // size-aware switch is consistent across ranks.
+      return size() >= ctx_->tree_min_ranks() &&
+             bytes >= ctx_->eager_threshold_bytes();
+  }
+  return false;
+}
+
+namespace {
+
+/// Number of ranks in the binomial-gather subtree rooted at `vrank`
+/// (virtual rank, i.e. rotated so the collective's root is 0) out of
+/// `p` ranks: the span [vrank, vrank + lowbit(vrank)) clipped to p.
+int binomial_subtree(int vrank, int p) {
+  if (vrank == 0) return p;
+  const int low = vrank & -vrank;
+  return std::min(low, p - vrank);
+}
+
+/// Gather frames are self-describing so internal tree nodes can append
+/// subtrees without any global size agreement:
+///   [u64 n_entries][n_entries x (u64 src, u64 nbytes)][payloads...]
+std::vector<std::byte> encode_gather_frame(
+    const std::vector<std::pair<int, std::vector<std::byte>>>& entries) {
+  std::size_t total = sizeof(std::uint64_t);
+  for (const auto& [src, payload] : entries) {
+    total += 2 * sizeof(std::uint64_t) + payload.size();
+  }
+  std::vector<std::byte> frame(total);
+  std::byte* cursor = frame.data();
+  const std::uint64_t n = entries.size();
+  std::memcpy(cursor, &n, sizeof(n));
+  cursor += sizeof(n);
+  for (const auto& [src, payload] : entries) {
+    const std::uint64_t meta[2] = {static_cast<std::uint64_t>(src),
+                                   static_cast<std::uint64_t>(payload.size())};
+    std::memcpy(cursor, meta, sizeof(meta));
+    cursor += sizeof(meta);
+  }
+  for (const auto& [src, payload] : entries) {
+    if (payload.empty()) continue;
+    std::memcpy(cursor, payload.data(), payload.size());
+    cursor += payload.size();
+  }
+  return frame;
+}
+
+/// Append a frame's entries to `entries` (non-root nodes) or place them
+/// by source rank into `out` (root). Exactly one of the two is used.
+void decode_gather_frame(
+    std::span<const std::byte> frame,
+    std::vector<std::pair<int, std::vector<std::byte>>>* entries,
+    std::vector<std::vector<std::byte>>* out, int p) {
+  PARSVD_REQUIRE(frame.size() >= sizeof(std::uint64_t),
+                 "gather frame too short");
+  std::uint64_t n = 0;
+  std::memcpy(&n, frame.data(), sizeof(n));
+  const std::size_t meta_bytes = sizeof(std::uint64_t) +
+                                 static_cast<std::size_t>(n) * 2 *
+                                     sizeof(std::uint64_t);
+  PARSVD_REQUIRE(frame.size() >= meta_bytes, "gather frame header truncated");
+  const std::byte* meta = frame.data() + sizeof(std::uint64_t);
+  const std::byte* body = frame.data() + meta_bytes;
+  std::size_t remaining = frame.size() - meta_bytes;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint64_t entry[2];
+    std::memcpy(entry, meta + i * sizeof(entry), sizeof(entry));
+    const int src = static_cast<int>(entry[0]);
+    const std::size_t nbytes = static_cast<std::size_t>(entry[1]);
+    PARSVD_REQUIRE(src >= 0 && src < p, "gather frame: source out of range");
+    PARSVD_REQUIRE(nbytes <= remaining, "gather frame body truncated");
+    std::vector<std::byte> payload(body, body + nbytes);
+    body += nbytes;
+    remaining -= nbytes;
+    if (entries) {
+      entries->emplace_back(src, std::move(payload));
     } else {
-      out.push_back(unpack_matrix(ctx_->wait(rank_, src, kTagGather)));
+      (*out)[static_cast<std::size_t>(src)] = std::move(payload);
     }
   }
+  PARSVD_REQUIRE(remaining == 0, "gather frame has trailing bytes");
+}
+
+}  // namespace
+
+std::vector<std::vector<std::byte>> Communicator::gather_bytes_tree(
+    std::vector<std::byte> local, int root) {
+  const int p = size();
+  const int vrank = (rank_ - root + p) % p;
+  // Children sit at vrank + mask for every mask below our lowest set
+  // bit (all of p for the root); the parent is vrank with that bit
+  // cleared. Receiving in ascending mask order matches the binomial
+  // schedule: small subtrees complete first while big ones are still
+  // aggregating below.
+  const int limit = vrank == 0 ? p : (vrank & -vrank);
+
+  std::vector<std::vector<std::byte>> out;
+  std::vector<std::pair<int, std::vector<std::byte>>> entries;
+  if (vrank == 0) {
+    out.resize(static_cast<std::size_t>(p));
+    out[static_cast<std::size_t>(rank_)] = std::move(local);
+  } else {
+    entries.reserve(static_cast<std::size_t>(binomial_subtree(vrank, p)));
+    entries.emplace_back(rank_, std::move(local));
+  }
+
+  for (int mask = 1; mask < limit && vrank + mask < p; mask <<= 1) {
+    const int child = (vrank + mask + root) % p;
+    // One frame per child: the child has already aggregated its whole
+    // subtree, which is what turns the root's p-1 sequential receives
+    // into log2(p) — the α·(P-1) → α·log P critical-path win.
+    const std::vector<std::byte> frame =
+        ctx_->wait(rank_, child, tags::kGatherTree);
+    decode_gather_frame(frame, vrank == 0 ? nullptr : &entries,
+                        vrank == 0 ? &out : nullptr, p);
+  }
+
+  if (vrank != 0) {
+    const int parent = ((vrank & (vrank - 1)) + root) % p;
+    ctx_->post(rank_, parent, tags::kGatherTree, encode_gather_frame(entries));
+  }
+  return out;
+}
+
+std::vector<std::vector<std::byte>> Communicator::gather_bytes_impl(
+    std::vector<std::byte> local, int root) {
+  check_peer(root);
+  if (use_tree_gather()) return gather_bytes_tree(std::move(local), root);
+  if (rank_ != root) {
+    ctx_->post(rank_, root, tags::kGather, std::move(local));
+    return {};
+  }
+  std::vector<std::vector<std::byte>> out(static_cast<std::size_t>(size()));
+  out[static_cast<std::size_t>(root)] = std::move(local);
+  for (int src = 0; src < size(); ++src) {
+    if (src == root) continue;
+    out[static_cast<std::size_t>(src)] = ctx_->wait(rank_, src, tags::kGather);
+  }
+  return out;
+}
+
+std::vector<Matrix> Communicator::gather_matrices(const Matrix& local, int root) {
+  check_peer(root);
+  std::vector<std::vector<std::byte>> parts =
+      gather_bytes_impl(pack_matrix(local), root);
+  if (rank_ != root) return {};
+  std::vector<Matrix> out;
+  out.reserve(parts.size());
+  for (const auto& part : parts) out.push_back(unpack_matrix(part));
   return out;
 }
 
@@ -576,17 +894,31 @@ Matrix Communicator::scatter_rows(const Matrix& full,
     Matrix mine;
     for (int dst = 0; dst < size(); ++dst) {
       const Index nrows = rows_per_rank[static_cast<std::size_t>(dst)];
-      Matrix block = full.block(offset, 0, nrows, full.cols());
-      offset += nrows;
       if (dst == root) {
-        mine = std::move(block);
+        mine = full.block(offset, 0, nrows, full.cols());
       } else {
-        send_bytes(pack_matrix(block), dst, kTagScatter);
+        // Pack the row block straight into the wire buffer (one strided
+        // pass) instead of materializing a block copy and packing that.
+        const std::int64_t header[2] = {static_cast<std::int64_t>(nrows),
+                                        static_cast<std::int64_t>(full.cols())};
+        std::vector<std::byte> payload(
+            sizeof(header) +
+            static_cast<std::size_t>(nrows * full.cols()) * sizeof(double));
+        std::byte* cursor = payload.data();
+        std::memcpy(cursor, header, sizeof(header));
+        cursor += sizeof(header);
+        for (Index c = 0; c < full.cols(); ++c) {
+          std::memcpy(cursor, full.data() + c * full.rows() + offset,
+                      static_cast<std::size_t>(nrows) * sizeof(double));
+          cursor += static_cast<std::size_t>(nrows) * sizeof(double);
+        }
+        send_bytes(std::move(payload), dst, tags::kScatter);
       }
+      offset += nrows;
     }
     return mine;
   }
-  return unpack_matrix(ctx_->wait(rank_, root, kTagScatter));
+  return unpack_matrix(ctx_->wait(rank_, root, tags::kScatter));
 }
 
 namespace {
@@ -613,17 +945,22 @@ void apply_op(Op op, std::span<double> acc, std::span<const double> incoming) {
 
 void Communicator::reduce(std::span<double> data, Op op, int root) {
   check_peer(root);
+  if (size() == 1) return;
+  if (use_tree_reduce(data.size_bytes())) {
+    reduce_tree(data, op, root);
+    return;
+  }
   if (rank_ != root) {
     std::vector<std::byte> payload(data.size_bytes());
     std::memcpy(payload.data(), data.data(), data.size_bytes());
-    send_bytes(std::move(payload), root, kTagReduce);
+    send_bytes(std::move(payload), root, tags::kReduce);
     return;
   }
   // Accumulate contributions in a fixed rank order so the result is
   // deterministic run-to-run (floating-point reduction order matters).
   for (int src = 0; src < size(); ++src) {
     if (src == root) continue;
-    const std::vector<std::byte> payload = ctx_->wait(rank_, src, kTagReduce);
+    const std::vector<std::byte> payload = ctx_->wait(rank_, src, tags::kReduce);
     PARSVD_REQUIRE(payload.size() == data.size_bytes(),
                    "reduce: contribution size mismatch");
     std::span<const double> incoming(
@@ -632,11 +969,115 @@ void Communicator::reduce(std::span<double> data, Op op, int root) {
   }
 }
 
+void Communicator::reduce_tree(std::span<double> data, Op op, int root) {
+  // Binomial tree mirroring gather_bytes_tree: each node folds its
+  // children's subtree partials into its own copy (own data first, then
+  // children in ascending mask order — a fixed association per (p,
+  // root), so the result is deterministic run-to-run; the association
+  // differs from the flat root-ordered fold in the usual last-bit
+  // floating-point sense). Non-root `data` stays untouched.
+  const int p = size();
+  const int vrank = (rank_ - root + p) % p;
+  const int limit = vrank == 0 ? p : (vrank & -vrank);
+  std::vector<double> acc(data.begin(), data.end());
+  for (int mask = 1; mask < limit && vrank + mask < p; mask <<= 1) {
+    const int child = (vrank + mask + root) % p;
+    const std::vector<std::byte> payload =
+        ctx_->wait(rank_, child, tags::kReduceTree);
+    PARSVD_REQUIRE(payload.size() == data.size_bytes(),
+                   "reduce: contribution size mismatch");
+    std::span<const double> incoming(
+        reinterpret_cast<const double*>(payload.data()), data.size());
+    apply_op(op, acc, incoming);
+  }
+  if (vrank == 0) {
+    std::copy(acc.begin(), acc.end(), data.begin());
+  } else {
+    const int parent = ((vrank & (vrank - 1)) + root) % p;
+    std::vector<std::byte> payload(data.size_bytes());
+    std::memcpy(payload.data(), acc.data(), payload.size());
+    ctx_->post(rank_, parent, tags::kReduceTree, std::move(payload));
+  }
+}
+
 void Communicator::allreduce(std::span<double> data, Op op) {
+  if (size() == 1) return;
+  if (use_tree_reduce(data.size_bytes())) {
+    allreduce_rd(data, op);
+    return;
+  }
   reduce(data, op, 0);
   std::vector<double> buf(data.begin(), data.end());
   bcast(buf, 0);
   std::copy(buf.begin(), buf.end(), data.begin());
+}
+
+void Communicator::allreduce_rd(std::span<double> data, Op op) {
+  // Recursive doubling over the largest power-of-two core, with the
+  // surplus ranks folded in before and fanned out after (the classic
+  // MPICH shape). Every rank applies the same balanced combine tree,
+  // and the elementwise two-operand ops (sum/max/min of two doubles)
+  // are exactly commutative in IEEE arithmetic, so all ranks finish
+  // with bit-identical results.
+  const int p = size();
+  const int m = std::bit_floor(static_cast<unsigned>(p));
+  const int rem = p - m;
+  std::vector<double> acc(data.begin(), data.end());
+  std::vector<double> incoming;
+
+  const auto exchange_with = [&](int partner) {
+    std::vector<std::byte> payload(acc.size() * sizeof(double));
+    std::memcpy(payload.data(), acc.data(), payload.size());
+    ctx_->post(rank_, partner, tags::kAllreduce, std::move(payload));
+    const std::vector<std::byte> reply =
+        ctx_->wait(rank_, partner, tags::kAllreduce);
+    PARSVD_REQUIRE(reply.size() == data.size_bytes(),
+                   "allreduce: contribution size mismatch");
+    incoming.assign(reinterpret_cast<const double*>(reply.data()),
+                    reinterpret_cast<const double*>(reply.data()) + data.size());
+  };
+
+  // Fold-in: the first 2*rem ranks pair up; odd ranks hand their data
+  // to the even neighbour and sit out the doubling phase.
+  int vr;
+  if (rank_ < 2 * rem) {
+    if (rank_ % 2 == 1) {
+      std::vector<std::byte> payload(acc.size() * sizeof(double));
+      std::memcpy(payload.data(), acc.data(), payload.size());
+      ctx_->post(rank_, rank_ - 1, tags::kAllreduce, std::move(payload));
+      const std::vector<std::byte> result =
+          ctx_->wait(rank_, rank_ - 1, tags::kAllreduce);
+      PARSVD_REQUIRE(result.size() == data.size_bytes(),
+                     "allreduce: result size mismatch");
+      std::memcpy(data.data(), result.data(), result.size());
+      return;
+    }
+    const std::vector<std::byte> payload =
+        ctx_->wait(rank_, rank_ + 1, tags::kAllreduce);
+    PARSVD_REQUIRE(payload.size() == data.size_bytes(),
+                   "allreduce: contribution size mismatch");
+    apply_op(op, acc,
+             std::span<const double>(
+                 reinterpret_cast<const double*>(payload.data()), data.size()));
+    vr = rank_ / 2;
+  } else {
+    vr = rank_ - rem;
+  }
+
+  for (int mask = 1; mask < m; mask <<= 1) {
+    const int partner_v = vr ^ mask;
+    const int partner = partner_v < rem ? 2 * partner_v : partner_v + rem;
+    exchange_with(partner);
+    apply_op(op, acc, incoming);
+  }
+
+  if (rank_ < 2 * rem) {
+    // Fan the finished result back out to the folded-in odd partner.
+    std::vector<std::byte> payload(acc.size() * sizeof(double));
+    std::memcpy(payload.data(), acc.data(), payload.size());
+    ctx_->post(rank_, rank_ + 1, tags::kAllreduce, std::move(payload));
+  }
+  std::copy(acc.begin(), acc.end(), data.begin());
 }
 
 double Communicator::allreduce_scalar(double value, Op op) {
@@ -649,20 +1090,25 @@ double Communicator::allreduce_scalar(double value, Op op) {
 
 std::vector<std::optional<std::vector<std::byte>>> Communicator::gather_bytes_ft(
     std::span<const std::byte> local, int root) {
+  return gather_bytes_ft(std::vector<std::byte>(local.begin(), local.end()),
+                         root);
+}
+
+std::vector<std::optional<std::vector<std::byte>>> Communicator::gather_bytes_ft(
+    std::vector<std::byte>&& local, int root) {
   check_peer(root);
   if (rank_ != root) {
-    ctx_->post(rank_, root, kTagFtGather,
-               std::vector<std::byte>(local.begin(), local.end()));
+    ctx_->post(rank_, root, tags::kFtGather, std::move(local));
     return {};
   }
   std::vector<std::optional<std::vector<std::byte>>> out(
       static_cast<std::size_t>(size()));
-  out[static_cast<std::size_t>(root)] =
-      std::vector<std::byte>(local.begin(), local.end());
+  out[static_cast<std::size_t>(root)] = std::move(local);
   for (int src = 0; src < size(); ++src) {
     if (src == root) continue;
     try {
-      out[static_cast<std::size_t>(src)] = ctx_->wait(rank_, src, kTagFtGather);
+      out[static_cast<std::size_t>(src)] =
+          ctx_->wait(rank_, src, tags::kFtGather);
     } catch (const RankDeadError&) {
       // Died before posting its contribution: excluded, not waited for.
       out[static_cast<std::size_t>(src)] = std::nullopt;
@@ -673,9 +1119,8 @@ std::vector<std::optional<std::vector<std::byte>>> Communicator::gather_bytes_ft
 
 std::vector<std::optional<Matrix>> Communicator::gather_matrices_ft(
     const Matrix& local, int root) {
-  const std::vector<std::byte> packed = pack_matrix(local);
   std::vector<std::optional<std::vector<std::byte>>> raw =
-      gather_bytes_ft(packed, root);
+      gather_bytes_ft(pack_matrix(local), root);
   std::vector<std::optional<Matrix>> out(raw.size());
   for (std::size_t i = 0; i < raw.size(); ++i) {
     if (raw[i]) out[i] = unpack_matrix(*raw[i]);
@@ -691,10 +1136,10 @@ void Communicator::bcast_bytes_ft(std::vector<std::byte>& payload, int root) {
       if (dst == root || ctx_->is_dead(dst)) continue;
       // A rank dying after this aliveness check is harmless: the posted
       // copy simply stays unconsumed in its mailbox.
-      ctx_->post(rank_, dst, kTagFtBcast, std::vector<std::byte>(payload));
+      ctx_->post(rank_, dst, tags::kFtBcast, std::vector<std::byte>(payload));
     }
   } else {
-    payload = ctx_->wait(rank_, root, kTagFtBcast);
+    payload = ctx_->wait(rank_, root, tags::kFtBcast);
   }
 }
 

@@ -30,14 +30,18 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <span>
 #include <thread>
+#include <tuple>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "linalg/matrix.hpp"
 #include "pmpi/fault.hpp"
+#include "pmpi/request.hpp"
+#include "pmpi/tags.hpp"
 #include "support/error.hpp"
 
 namespace parsvd::pmpi {
@@ -45,10 +49,32 @@ namespace parsvd::pmpi {
 /// Reduction operators for reduce/allreduce.
 enum class Op { Sum, Max, Min };
 
+/// Collective algorithm selection (Context-wide so every rank of a job
+/// takes the same code path — a per-call or per-size disagreement
+/// between ranks would deadlock the collective).
+///   Flat — root-loop topologies everywhere (the seed behaviour for
+///          gather/reduce; also forces a flat one-level broadcast).
+///   Tree — binomial-tree gather/reduce/bcast and recursive-doubling
+///          allreduce regardless of size.
+///   Auto — size-aware: eager flat for small payloads and small jobs,
+///          log(P) trees once `tree_min_ranks` / `eager_threshold_bytes`
+///          are crossed. Broadcast always takes the tree (receivers do
+///          not know the payload size in advance, so a size-dependent
+///          switch could not be made consistently); gather switches on
+///          the rank count alone (per-rank contributions may differ in
+///          size, and only the rank count is guaranteed to be agreed on
+///          by everyone); reduce/allreduce switch on rank count and
+///          payload size (lengths are symmetric by API contract).
+enum class CollectiveAlgo { Auto, Flat, Tree };
+
 /// Serialize a matrix into the wire format used by send_matrix (shape
 /// header + column-major body). Exposed so degraded-mode callers can
 /// build composite payloads (metadata + matrix) for one atomic gather.
 std::vector<std::byte> pack_matrix(const Matrix& m);
+/// Append the wire form of `m` to `out` — lets composite payloads
+/// (header + matrix) be built in ONE buffer that is then moved into
+/// Context::post, instead of packing into a temporary and copying.
+void pack_matrix_into(const Matrix& m, std::vector<std::byte>& out);
 Matrix unpack_matrix(std::span<const std::byte> payload);
 
 /// Shared state of one communicator "job": mailboxes, barrier, counters,
@@ -77,6 +103,76 @@ class Context {
   /// backoff retries) expires, RankDeadError when `src` is dead with no
   /// recoverable message in flight.
   std::vector<std::byte> wait(int dest, int src, int tag);
+
+  /// One point-to-point channel, as named by the multi-channel waits.
+  struct Channel {
+    int src;
+    int tag;
+  };
+
+  /// Non-blocking counterpart of wait(): consume and return the next
+  /// deliverable (src, tag) message if there is one, nullopt otherwise.
+  /// Runs the same envelope recovery as wait() and throws the same
+  /// RankDeadError / JobAbortedError once the message can no longer
+  /// arrive. Does NOT advance the fault-plan op counter — non-blocking
+  /// receives account their operation once, at post time, so polling
+  /// frequency cannot perturb a deterministic fault schedule.
+  std::optional<std::vector<std::byte>> try_wait(int dest, int src, int tag);
+
+  /// Block until ANY of `channels` has a deliverable message for `dest`;
+  /// returns (channel index, payload). Scans channels in order each
+  /// round, so an already-queued earlier channel wins ties. Throws
+  /// RankDeadError only when every queried source is dead with nothing
+  /// recoverable — while one source lives, messages already posted by
+  /// dead ones are still consumed. Like try_wait, never accounts an op.
+  std::pair<std::size_t, std::vector<std::byte>> wait_any(
+      int dest, std::span<const Channel> channels);
+
+  /// Advance `rank`'s operation counter (and evaluate kill faults) as
+  /// one communication operation. post/wait/barrier call this
+  /// internally; the non-blocking layer calls it when a receive is
+  /// POSTED so the per-rank op sequence is deterministic under polling.
+  std::uint64_t account_op(int rank);
+
+  /// Debug-build channel discipline for non-blocking receives: at most
+  /// one outstanding irecv per (dest, src, tag). A second registration
+  /// throws a typed CommError naming the channel; release builds
+  /// compile both calls to no-ops.
+  void register_irecv(int dest, int src, int tag);
+  void unregister_irecv(int dest, int src, int tag);
+
+  // ------------------------------------------- collective algorithm policy
+  // Job-wide so all ranks agree on the topology (see CollectiveAlgo).
+  // Configure before ranks start communicating, or between collectives.
+  // Defaults come from PARSVD_COMM_ALGO / PARSVD_COMM_EAGER_BYTES /
+  // PARSVD_COMM_TREE_MIN_RANKS.
+
+  void set_collective_algo(CollectiveAlgo algo) {
+    collective_algo_.store(algo, std::memory_order_relaxed);
+  }
+  CollectiveAlgo collective_algo() const {
+    return collective_algo_.load(std::memory_order_relaxed);
+  }
+
+  /// Auto policy: reduce/allreduce payloads at or above this take the
+  /// log(P) path (below it, one eager flat round trip is cheaper than
+  /// tree latency).
+  void set_eager_threshold_bytes(std::uint64_t bytes) {
+    eager_bytes_.store(bytes, std::memory_order_relaxed);
+  }
+  std::uint64_t eager_threshold_bytes() const {
+    return eager_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Auto policy: jobs with fewer ranks than this keep flat gather /
+  /// reduce topologies (the tree only shortens the root's critical path
+  /// once there are enough ranks to amortize the extra hops).
+  void set_tree_min_ranks(int ranks) {
+    tree_min_ranks_.store(ranks, std::memory_order_relaxed);
+  }
+  int tree_min_ranks() const {
+    return tree_min_ranks_.load(std::memory_order_relaxed);
+  }
 
   /// Two-phase dissemination barrier over the mailbox fabric is not
   /// needed in-process; a generation-counted central barrier is exact.
@@ -183,9 +279,23 @@ class Context {
     std::map<ChannelKey, std::map<std::uint64_t, std::vector<std::byte>>> log;
   };
 
-  /// Advance `rank`'s operation counter; throw RankKilledError if the
-  /// plan kills this operation. Returns the operation index.
-  std::uint64_t account_op(int rank);
+  /// One pass over dest's queue for the next deliverable (src, tag)
+  /// message: drops stale duplicates, skips out-of-order successors,
+  /// honours delayed delivery (folding the earliest wake-up into
+  /// *next_deliverable), recovers corrupted payloads from the
+  /// retransmit log, and falls back to the log for swallowed drops. On
+  /// success the message is consumed (sequence advanced, acked log
+  /// entries pruned) and its payload moved into *out. Caller holds
+  /// box.mu.
+  bool scan_channel_locked(Mailbox& box, int dest, int src, int tag,
+                           std::vector<std::byte>* out,
+                           Clock::time_point* next_deliverable);
+
+  /// Shared engine under wait / wait_any: blocking multi-channel scan
+  /// with the lazily-armed watchdog deadline and backoff retries. Never
+  /// accounts an op (callers decide).
+  std::pair<std::size_t, std::vector<std::byte>> wait_any_impl(
+      int dest, std::span<const Channel> channels);
 
   /// Lazily start the deadline watchdog (bounded waits sleep untimed and
   /// rely on its periodic mailbox wakes to re-check their deadline).
@@ -229,6 +339,16 @@ class Context {
   std::condition_variable watchdog_cv_;
   std::atomic<std::uint64_t> retransmits_{0};
   std::atomic<std::uint64_t> faults_injected_{0};
+
+  std::atomic<CollectiveAlgo> collective_algo_{CollectiveAlgo::Auto};
+  std::atomic<std::uint64_t> eager_bytes_{std::uint64_t{1} << 14};  // 16 KiB
+  std::atomic<int> tree_min_ranks_{8};
+
+  // Debug-build registry of outstanding non-blocking receives, keyed
+  // (dest, src, tag). Unused (but kept declared, for a single layout
+  // across build types) in release builds.
+  std::mutex irecv_mu_;
+  std::set<std::tuple<int, int, int>> open_irecvs_;
 };
 
 /// Per-rank handle: the library-facing API (mirrors the MPI calls used in
@@ -276,6 +396,30 @@ class Communicator {
   /// Matrix-valued send/recv (shape travels with the data).
   void send_matrix(const Matrix& m, int dest, int tag = 0);
   Matrix recv_matrix(int src, int tag = 0);
+
+  // ------------------------------------------------- non-blocking layer
+  // isend posts immediately (buffered) and returns an already-complete
+  // request; irecv registers a channel and completes via test()/wait()/
+  // wait_any(). See request.hpp for the full lifecycle contract.
+
+  template <typename T>
+  Request isend(std::span<const T> data, int dest, int tag = 0) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    check_peer(dest);
+    check_tag(tag);
+    check_payload(data.size_bytes());
+    std::vector<std::byte> payload(data.size_bytes());
+    std::memcpy(payload.data(), data.data(), data.size_bytes());
+    ctx_->post(rank_, dest, tag, std::move(payload));
+    return Request(ctx_, Request::Kind::Send, rank_, dest, tag, /*done=*/true);
+  }
+
+  Request isend_matrix(const Matrix& m, int dest, int tag = 0);
+
+  /// Post a non-blocking receive on (src, tag). The fault-plan op is
+  /// accounted here, once; debug builds reject a second outstanding
+  /// irecv on the same channel.
+  Request irecv(int src, int tag = 0);
 
   // ----------------------------------------------------------- collectives
   // Every collective must be called by all ranks of the communicator, in
@@ -332,6 +476,10 @@ class Communicator {
   /// Non-root ranks receive an empty vector.
   std::vector<std::optional<std::vector<std::byte>>> gather_bytes_ft(
       std::span<const std::byte> local, int root = 0);
+  /// Move overload: callers that build the wire buffer themselves hand
+  /// it over without another copy (the span form copies into this one).
+  std::vector<std::optional<std::vector<std::byte>>> gather_bytes_ft(
+      std::vector<std::byte>&& local, int root = 0);
 
   /// As gather_matrices, but dead ranks yield nullopt at root.
   std::vector<std::optional<Matrix>> gather_matrices_ft(const Matrix& local,
@@ -357,17 +505,30 @@ class Communicator {
   /// buffer is allocated (oversized sends were previously unguarded).
   void check_payload(std::size_t bytes) const;
 
-  // Internal tag space for collectives (kept clear of user tags by using
-  // values the public API rejects).
-  static constexpr int kTagBcast = -2;
-  static constexpr int kTagGather = -3;
-  static constexpr int kTagScatter = -4;
-  static constexpr int kTagReduce = -5;
-  static constexpr int kTagFtGather = -6;
-  static constexpr int kTagFtBcast = -7;
+  // Collective tags live in the tags:: registry (tags.hpp); they are
+  // negative, which the public API rejects for user traffic.
 
   void send_bytes(std::vector<std::byte> payload, int dest, int tag);
   std::vector<std::byte> recv_bytes(int src, int tag);
+
+  // ----------------------------------- collective topology dispatch
+  // Policy predicates evaluate Context-wide settings plus inputs every
+  // rank agrees on (rank count; symmetric reduce lengths), so all ranks
+  // of one collective call pick the same topology.
+  bool use_tree_gather() const;
+  bool use_tree_reduce(std::size_t bytes) const;
+
+  /// Gather engine under gatherv / gather_matrices: returns, at root,
+  /// one payload per rank (indexed by source); empty elsewhere. Flat
+  /// root loop or binomial tree with framed subtree aggregation,
+  /// depending on policy.
+  std::vector<std::vector<std::byte>> gather_bytes_impl(
+      std::vector<std::byte> local, int root);
+  std::vector<std::vector<std::byte>> gather_bytes_tree(
+      std::vector<std::byte> local, int root);
+
+  void reduce_tree(std::span<double> data, Op op, int root);
+  void allreduce_rd(std::span<double> data, Op op);
 
   int rank_;
   std::shared_ptr<Context> ctx_;
@@ -379,6 +540,28 @@ void Communicator::bcast(std::vector<T>& data, int root) {
   check_peer(root);
   const int p = size();
   if (p == 1) return;
+
+  if (ctx_->collective_algo() == CollectiveAlgo::Flat) {
+    // One-level fan-out: root posts p-1 copies. Benchmark baseline (and
+    // lowest latency for tiny jobs); never chosen by Auto because only
+    // the Context-wide setting keeps all ranks consistent — receivers
+    // cannot see the payload size a size-aware switch would need.
+    if (rank_ == root) {
+      for (int dst = 0; dst < p; ++dst) {
+        if (dst == root) continue;
+        std::vector<std::byte> payload(data.size() * sizeof(T));
+        std::memcpy(payload.data(), data.data(), payload.size());
+        ctx_->post(rank_, dst, tags::kBcast, std::move(payload));
+      }
+    } else {
+      const std::vector<std::byte> payload =
+          ctx_->wait(rank_, root, tags::kBcast);
+      data.resize(payload.size() / sizeof(T));
+      std::memcpy(data.data(), payload.data(), payload.size());
+    }
+    return;
+  }
+
   // Rotate ranks so the tree is rooted at `root`.
   const int vrank = (rank_ - root + p) % p;
 
@@ -390,7 +573,8 @@ void Communicator::bcast(std::vector<T>& data, int root) {
   while (mask < p) {
     if (vrank & mask) {
       const int parent = ((vrank ^ mask) + root) % p;
-      const std::vector<std::byte> payload = ctx_->wait(rank_, parent, kTagBcast);
+      const std::vector<std::byte> payload =
+          ctx_->wait(rank_, parent, tags::kBcast);
       data.resize(payload.size() / sizeof(T));
       std::memcpy(data.data(), payload.data(), payload.size());
       break;
@@ -403,7 +587,7 @@ void Communicator::bcast(std::vector<T>& data, int root) {
       const int child = (vrank + mask + root) % p;
       std::vector<std::byte> payload(data.size() * sizeof(T));
       std::memcpy(payload.data(), data.data(), payload.size());
-      ctx_->post(rank_, child, kTagBcast, std::move(payload));
+      ctx_->post(rank_, child, tags::kBcast, std::move(payload));
     }
     mask >>= 1;
   }
@@ -414,25 +598,22 @@ std::vector<T> Communicator::gatherv(std::span<const T> local, int root,
                                      std::vector<std::size_t>* counts) {
   static_assert(std::is_trivially_copyable_v<T>);
   check_peer(root);
-  if (rank_ != root) {
-    std::vector<std::byte> payload(local.size_bytes());
-    std::memcpy(payload.data(), local.data(), local.size_bytes());
-    ctx_->post(rank_, root, kTagGather, std::move(payload));
-    return {};
-  }
-  std::vector<T> out;
+  std::vector<std::byte> payload(local.size_bytes());
+  std::memcpy(payload.data(), local.data(), local.size_bytes());
+  std::vector<std::vector<std::byte>> parts =
+      gather_bytes_impl(std::move(payload), root);
+  if (rank_ != root) return {};
   if (counts) counts->assign(static_cast<std::size_t>(size()), 0);
+  std::size_t total = 0;
+  for (const auto& part : parts) total += part.size();
+  std::vector<T> out(total / sizeof(T));
+  std::byte* cursor = reinterpret_cast<std::byte*>(out.data());
   for (int src = 0; src < size(); ++src) {
-    std::vector<T> chunk;
-    if (src == root) {
-      chunk.assign(local.begin(), local.end());
-    } else {
-      const std::vector<std::byte> payload = ctx_->wait(rank_, src, kTagGather);
-      chunk.resize(payload.size() / sizeof(T));
-      std::memcpy(chunk.data(), payload.data(), payload.size());
-    }
-    if (counts) (*counts)[static_cast<std::size_t>(src)] = chunk.size();
-    out.insert(out.end(), chunk.begin(), chunk.end());
+    const auto& part = parts[static_cast<std::size_t>(src)];
+    if (counts) (*counts)[static_cast<std::size_t>(src)] = part.size() / sizeof(T);
+    if (part.empty()) continue;
+    std::memcpy(cursor, part.data(), part.size());
+    cursor += part.size();
   }
   return out;
 }

@@ -1,0 +1,138 @@
+#include "pmpi/request.hpp"
+
+#include <utility>
+
+#include "pmpi/comm.hpp"
+
+namespace parsvd::pmpi {
+
+Request::Request(std::shared_ptr<Context> ctx, Kind kind, int owner, int peer,
+                 int tag, bool done)
+    : ctx_(std::move(ctx)),
+      kind_(kind),
+      owner_(owner),
+      peer_(peer),
+      tag_(tag),
+      done_(done),
+      registered_(kind == Kind::Recv && !done) {}
+
+Request::Request(Request&& other) noexcept
+    : ctx_(std::move(other.ctx_)),
+      kind_(other.kind_),
+      owner_(other.owner_),
+      peer_(other.peer_),
+      tag_(other.tag_),
+      done_(other.done_),
+      taken_(other.taken_),
+      registered_(other.registered_),
+      payload_(std::move(other.payload_)) {
+  other.ctx_ = nullptr;
+  other.registered_ = false;
+}
+
+Request& Request::operator=(Request&& other) noexcept {
+  if (this != &other) {
+    if (registered_ && ctx_) ctx_->unregister_irecv(owner_, peer_, tag_);
+    ctx_ = std::move(other.ctx_);
+    kind_ = other.kind_;
+    owner_ = other.owner_;
+    peer_ = other.peer_;
+    tag_ = other.tag_;
+    done_ = other.done_;
+    taken_ = other.taken_;
+    registered_ = other.registered_;
+    payload_ = std::move(other.payload_);
+    other.ctx_ = nullptr;
+    other.registered_ = false;
+  }
+  return *this;
+}
+
+Request::~Request() { unregister(); }
+
+void Request::unregister() {
+  if (registered_ && ctx_) {
+    ctx_->unregister_irecv(owner_, peer_, tag_);
+    registered_ = false;
+  }
+}
+
+bool Request::test() {
+  PARSVD_REQUIRE(valid(), "test() on an empty Request");
+  if (done_) return true;
+  std::optional<std::vector<std::byte>> payload =
+      ctx_->try_wait(owner_, peer_, tag_);
+  if (!payload) return false;
+  payload_ = std::move(*payload);
+  done_ = true;
+  unregister();
+  return true;
+}
+
+void Request::wait() {
+  PARSVD_REQUIRE(valid(), "wait() on an empty Request");
+  if (done_) return;
+  const Context::Channel channel{peer_, tag_};
+  payload_ =
+      ctx_->wait_any(owner_, std::span<const Context::Channel>(&channel, 1))
+          .second;
+  done_ = true;
+  unregister();
+}
+
+void Request::cancel() {
+  unregister();
+  ctx_ = nullptr;
+  payload_.clear();
+}
+
+std::vector<std::byte> Request::take_bytes() {
+  PARSVD_REQUIRE(valid(), "take on an empty Request");
+  PARSVD_REQUIRE(kind_ == Kind::Recv, "take on a send Request");
+  PARSVD_REQUIRE(done_, "take on an incomplete Request (wait first)");
+  PARSVD_REQUIRE(!taken_, "Request payload already taken");
+  taken_ = true;
+  return std::move(payload_);
+}
+
+Matrix Request::take_matrix() { return unpack_matrix(take_bytes()); }
+
+std::size_t wait_any(std::span<Request> requests) {
+  PARSVD_REQUIRE(!requests.empty(), "wait_any: no requests");
+  Context* ctx = nullptr;
+  int owner = -1;
+  std::vector<Context::Channel> channels;
+  std::vector<std::size_t> index;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    Request& r = requests[i];
+    if (!r.valid()) continue;
+    if (r.done_) {
+      // Completed but unconsumed receives are reported (once); buffered
+      // sends and already-taken receives are inactive and skipped.
+      if (r.kind_ == Request::Kind::Recv && !r.taken_) return i;
+      continue;
+    }
+    PARSVD_REQUIRE(ctx == nullptr || (ctx == r.ctx_.get() && owner == r.owner_),
+                   "wait_any: requests span different ranks or contexts");
+    ctx = r.ctx_.get();
+    owner = r.owner_;
+    channels.push_back({r.peer_, r.tag_});
+    index.push_back(i);
+  }
+  PARSVD_REQUIRE(!channels.empty(), "wait_any: no pending requests");
+  auto [which, payload] = ctx->wait_any(
+      owner, std::span<const Context::Channel>(channels.data(), channels.size()));
+  Request& r = requests[index[which]];
+  r.payload_ = std::move(payload);
+  r.done_ = true;
+  r.unregister();
+  return index[which];
+}
+
+void wait_all(std::span<Request> requests) {
+  for (Request& r : requests) {
+    if (r.valid() && !r.done()) r.wait();
+  }
+}
+
+}  // namespace parsvd::pmpi

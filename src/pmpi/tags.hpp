@@ -1,0 +1,61 @@
+// Tag-namespace registry: every wire tag used inside the library lives
+// here, in named reserved ranges, so no two protocols can collide by
+// picking the same ad-hoc constant.
+//
+// Layout of the tag space:
+//   * negative tags — internal collective protocols. The public
+//     point-to-point API rejects negative user tags, so collective
+//     traffic can never be intercepted by (or mistaken for) user
+//     messages on the same channel.
+//   * [100, 1024) — reserved solver protocol ranges, one kRangeWidth-wide
+//     band per protocol. Level-indexed protocols (the TSQR reduction
+//     tree) get a whole band so `base + level` arithmetic stays inside
+//     their reservation by construction.
+//   * [1024, ...) — application space: user code that needs stable tags
+//     alongside the solvers should start at kUserBase.
+//
+// Debug builds additionally enforce the channel discipline at runtime:
+// Context::register_irecv throws if two outstanding non-blocking
+// receives ever share a (dest, src, tag) channel.
+#pragma once
+
+namespace parsvd::pmpi::tags {
+
+// ----------------------------------------------------- collective tags
+inline constexpr int kBcast = -2;       // binomial-tree / flat broadcast
+inline constexpr int kGather = -3;      // flat gather (root loop)
+inline constexpr int kScatter = -4;     // scatter_rows
+inline constexpr int kReduce = -5;      // flat reduce (root loop)
+inline constexpr int kFtGather = -6;    // fault-tolerant flat gather
+inline constexpr int kFtBcast = -7;     // fault-tolerant flat bcast
+inline constexpr int kGatherTree = -8;  // binomial-tree gather frames
+inline constexpr int kReduceTree = -9;  // binomial-tree reduce partials
+inline constexpr int kAllreduce = -10;  // recursive-doubling exchange
+
+// ------------------------------------------------ solver protocol bands
+/// Width of one reserved band. 64 covers every level-indexed protocol:
+/// a binomial tree over int ranks has at most 31 levels.
+inline constexpr int kRangeWidth = 64;
+
+inline constexpr int kTsqrUpBase = 100;
+inline constexpr int kTsqrDownBase = kTsqrUpBase + kRangeWidth;
+inline constexpr int kApmosGatherBase = kTsqrDownBase + kRangeWidth;
+
+/// First tag applications should use for their own traffic.
+inline constexpr int kUserBase = 1024;
+
+/// TSQR tree up-sweep: R factors flowing toward rank 0, one tag per
+/// tree level so a rank's pre-posted receives are distinct channels.
+constexpr int tsqr_up(int level) { return kTsqrUpBase + level; }
+
+/// TSQR tree down-sweep: Q transforms flowing back toward the leaves.
+constexpr int tsqr_down(int level) { return kTsqrDownBase + level; }
+
+/// APMOS Stage-3 gather of per-rank W blocks (overlapped at root with
+/// the Stage-2 small SVD).
+constexpr int apmos_w() { return kApmosGatherBase; }
+
+static_assert(kApmosGatherBase + kRangeWidth <= kUserBase,
+              "solver tag bands overflow into application space");
+
+}  // namespace parsvd::pmpi::tags

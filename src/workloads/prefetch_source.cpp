@@ -1,0 +1,90 @@
+#include "workloads/prefetch_source.hpp"
+
+#include <utility>
+
+namespace parsvd::workloads {
+
+PrefetchingBatchSource::PrefetchingBatchSource(
+    std::unique_ptr<BatchSource> inner, Index batch_cols, std::size_t depth)
+    : inner_(std::move(inner)),
+      batch_cols_(batch_cols),
+      depth_(depth),
+      rows_(inner_->rows()),
+      total_(inner_->total_snapshots()) {
+  PARSVD_REQUIRE(inner_ != nullptr, "prefetch: null inner source");
+  PARSVD_REQUIRE(batch_cols_ > 0, "prefetch: batch_cols must be positive");
+  PARSVD_REQUIRE(depth_ > 0, "prefetch: depth must be positive");
+  PARSVD_REQUIRE(inner_->position() == 0,
+                 "prefetch: inner source already consumed");
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+PrefetchingBatchSource::~PrefetchingBatchSource() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  consumed_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+Index PrefetchingBatchSource::position() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return delivered_;
+}
+
+Matrix PrefetchingBatchSource::next_batch(Index max_cols) {
+  PARSVD_REQUIRE(max_cols == batch_cols_,
+                 "prefetch: next_batch width must match the configured "
+                 "batch_cols (the worker already chose batch boundaries)");
+  std::unique_lock<std::mutex> lock(mu_);
+  produced_.wait(lock, [this] {
+    return !queue_.empty() || error_ != nullptr || inner_done_;
+  });
+  if (queue_.empty()) {
+    if (error_ != nullptr) {
+      std::exception_ptr e = std::exchange(error_, nullptr);
+      std::rethrow_exception(e);
+    }
+    PARSVD_REQUIRE(false, "prefetch: next_batch past exhaustion");
+  }
+  Matrix batch = std::move(queue_.front());
+  queue_.pop_front();
+  delivered_ += batch.cols();
+  lock.unlock();
+  consumed_.notify_one();
+  return batch;
+}
+
+void PrefetchingBatchSource::worker_loop() {
+  // The worker is the sole toucher of inner_ from here on; only the
+  // queue handoff needs the lock, so inner_->next_batch (the expensive
+  // ingest) runs outside it and genuinely overlaps the consumer.
+  try {
+    while (true) {
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        consumed_.wait(lock, [this] { return queue_.size() < depth_ || stop_; });
+        if (stop_) return;
+      }
+      if (inner_->exhausted()) break;
+      Matrix batch = inner_->next_batch(batch_cols_);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stop_) return;
+        queue_.push_back(std::move(batch));
+      }
+      produced_.notify_one();
+    }
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    error_ = std::current_exception();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    inner_done_ = true;
+  }
+  produced_.notify_all();
+}
+
+}  // namespace parsvd::workloads

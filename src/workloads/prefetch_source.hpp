@@ -1,0 +1,73 @@
+// Double-buffered batch prefetch: the consumer side of the pipelined
+// streaming executor.
+//
+// A PrefetchingBatchSource wraps any BatchSource and pulls its batches
+// on a background thread into a small bounded queue, so the solver's
+// compute phase (TSQR + root SVD of the previous batch) overlaps the
+// ingest latency of the next one — the paper's streaming setting, where
+// snapshots arrive from disk or a simulation and ingestion is the
+// bottleneck. Batches are produced strictly in order with a FIXED
+// column width, so results are bit-identical to synchronous ingestion
+// with the same width.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "workloads/batch_source.hpp"
+
+namespace parsvd::workloads {
+
+class PrefetchingBatchSource final : public BatchSource {
+ public:
+  /// Wraps `inner`, prefetching batches of exactly `batch_cols` columns
+  /// (fewer only at the tail) up to `depth` batches ahead. `depth` = 2
+  /// is classic double buffering: one batch in flight while one waits.
+  /// After construction the inner source is touched ONLY by the worker
+  /// thread; callers must not retain references into it.
+  PrefetchingBatchSource(std::unique_ptr<BatchSource> inner, Index batch_cols,
+                         std::size_t depth = 2);
+
+  /// Stops and joins the worker. Never throws: a pending worker
+  /// exception that was never consumed is dropped here.
+  ~PrefetchingBatchSource() override;
+
+  PrefetchingBatchSource(const PrefetchingBatchSource&) = delete;
+  PrefetchingBatchSource& operator=(const PrefetchingBatchSource&) = delete;
+
+  Index rows() const override { return rows_; }
+  Index total_snapshots() const override { return total_; }
+  Index position() const override;
+
+  /// `max_cols` must equal the construction-time `batch_cols`: the
+  /// worker decided the batch boundaries when it ran ahead, so a
+  /// different width here could not be honoured. Rethrows any exception
+  /// the inner source raised on the worker thread.
+  Matrix next_batch(Index max_cols) override;
+
+ private:
+  void worker_loop();
+
+  std::unique_ptr<BatchSource> inner_;  // worker-thread-owned after start
+  const Index batch_cols_;
+  const std::size_t depth_;
+  const Index rows_;
+  const Index total_;
+
+  mutable std::mutex mu_;
+  std::condition_variable produced_;  // worker -> consumer: queue grew
+  std::condition_variable consumed_;  // consumer -> worker: slot freed
+  std::deque<Matrix> queue_;
+  std::exception_ptr error_;
+  Index delivered_ = 0;  // snapshots handed to the consumer
+  bool inner_done_ = false;
+  bool stop_ = false;
+
+  std::thread worker_;  // last member: starts after state is ready
+};
+
+}  // namespace parsvd::workloads

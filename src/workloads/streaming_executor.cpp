@@ -1,0 +1,31 @@
+#include "workloads/streaming_executor.hpp"
+
+#include <utility>
+
+#include "workloads/prefetch_source.hpp"
+
+namespace parsvd::workloads {
+
+Index run_streaming(SvdBase& svd, std::unique_ptr<BatchSource> source,
+                    const StreamingExecutorOptions& opts) {
+  PARSVD_REQUIRE(source != nullptr, "run_streaming: null source");
+  PARSVD_REQUIRE(opts.batch_cols > 0,
+                 "run_streaming: batch_cols must be positive");
+  PARSVD_REQUIRE(!source->exhausted(), "run_streaming: source is empty");
+
+  if (opts.prefetch) {
+    source = std::make_unique<PrefetchingBatchSource>(
+        std::move(source), opts.batch_cols, opts.prefetch_depth);
+  }
+
+  Index batches = 0;
+  svd.initialize(source->next_batch(opts.batch_cols));
+  ++batches;
+  while (!source->exhausted()) {
+    svd.incorporate_data(source->next_batch(opts.batch_cols));
+    ++batches;
+  }
+  return batches;
+}
+
+}  // namespace parsvd::workloads

@@ -1,0 +1,36 @@
+// Pipelined streaming executor: drives any SvdBase over a BatchSource.
+//
+// This is the ingest loop every bench and example used to hand-write
+// (initialize on the first batch, incorporate_data until exhaustion),
+// packaged so the pipelining is a flag: with prefetch on, batches are
+// pulled by a PrefetchingBatchSource worker thread and the solver's
+// compute overlaps the next batch's ingest latency. Batch boundaries
+// are identical either way, so the factorization is bit-for-bit the
+// same with prefetch on or off.
+#pragma once
+
+#include <memory>
+
+#include "core/streaming.hpp"
+#include "workloads/batch_source.hpp"
+
+namespace parsvd::workloads {
+
+struct StreamingExecutorOptions {
+  /// Columns per streaming batch (the tail batch may be smaller).
+  Index batch_cols = 32;
+  /// Pull batches ahead on a background thread.
+  bool prefetch = true;
+  /// Queue depth when prefetching; 2 = double buffering.
+  std::size_t prefetch_depth = 2;
+};
+
+/// Feeds every batch of `source` into `svd` (initialize on the first,
+/// incorporate_data on the rest). Takes ownership of the source — with
+/// prefetch enabled it is handed to a worker thread. Collective when
+/// `svd` is a ParallelStreamingSVD: every rank passes its own row-block
+/// source and the same options. Returns the number of batches ingested.
+Index run_streaming(SvdBase& svd, std::unique_ptr<BatchSource> source,
+                    const StreamingExecutorOptions& opts = {});
+
+}  // namespace parsvd::workloads

@@ -360,6 +360,56 @@ TEST(FaultChaos, KillSweepEndsInSuccessOrTypedErrorNeverHangs) {
               clean, typed, static_cast<unsigned long long>(deaths));
 }
 
+TEST(FaultChaos, TreeCollectivesRecoverableSweepIsExact) {
+  // The composition the async-comm PR must not break: the log(P)
+  // topologies (binomial gather frames, tree bcast, recursive-doubling
+  // allreduce with the non-power-of-two fold-in — p = 6) ride the same
+  // checksum/seq envelope, so 110 seeded recoverable plans must still
+  // produce bit-exact results.
+  constexpr std::uint64_t kSeeds = 110;
+  std::uint64_t injected = 0;
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    FaultPlan plan = FaultPlan::chaos(2000 + seed, 0.06, 0.05, 0.05, 0.04);
+    plan.delay_ms = 1;
+    auto ctx = make_ctx(6, std::move(plan));
+    ctx->set_collective_algo(pmpi::CollectiveAlgo::Tree);
+    pmpi::run_on(ctx, [seed](Communicator& comm) {
+      chaos_workload(comm, 2000 + seed);
+    });
+    injected += ctx->faults_injected();
+  }
+  EXPECT_GT(injected, 200u);
+}
+
+TEST(FaultChaos, TreeCollectivesKillSweepNeverHangs) {
+  // Kills under forced tree topologies: a dead interior tree node takes
+  // its whole subtree's path down, which must surface as a typed error
+  // (or degrade to a clean completion) — never a hang.
+  constexpr std::uint64_t kSeeds = 100;
+  int clean = 0;
+  int typed = 0;
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    FaultPlan plan =
+        FaultPlan::chaos(3000 + seed, 0.04, 0.03, 0.03, 0.03, 0.02);
+    plan.delay_ms = 1;
+    plan.protect_rank(0);
+    auto ctx = make_ctx(6, std::move(plan));
+    ctx->set_collective_algo(pmpi::CollectiveAlgo::Tree);
+    try {
+      pmpi::run_on(ctx, [seed](Communicator& comm) {
+        chaos_workload(comm, 3000 + seed);
+      });
+      ++clean;
+    } catch (const Error&) {
+      ++typed;
+    }
+  }
+  EXPECT_EQ(clean + typed, static_cast<int>(kSeeds));
+  EXPECT_GT(typed, 0);
+  EXPECT_GT(clean, 0);
+  std::printf("tree kill sweep: %d clean, %d typed failures\n", clean, typed);
+}
+
 // ---------------------------------------------------- degraded completion
 
 TEST(FaultDegraded, ApmosCompletesWithoutTheDeadRank) {

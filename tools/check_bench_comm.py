@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""CI gate for the comm benchmark trajectory.
+
+Validates a freshly produced BENCH_comm.json (usually a --smoke run)
+against the committed trajectory:
+
+  1. both files parse and carry the schema_version-1 keys;
+  2. the committed trajectory's acceptance claims hold (tree beats flat
+     on the alpha-beta model at P >= 8 / 1 MiB; prefetch >= +20% with
+     ingest latency; prefetch on/off bit-identical);
+  3. for every (collective, algo, ranks, payload_bytes) entry present in
+     BOTH files, the deterministic per-round byte/message counters agree
+     within a tolerance (default 25%). The counters are exact functions
+     of the topology, so a drift means a collective silently changed
+     shape — the regression wall-clock timing cannot flag on a noisy
+     shared runner.
+
+Usage: check_bench_comm.py FRESH_JSON COMMITTED_JSON [--tolerance=0.25]
+"""
+
+import json
+import sys
+
+REQUIRED_TOP = [
+    "bench",
+    "schema_version",
+    "collectives",
+    "claim_tree_beats_flat",
+    "prefetch",
+    "prefetch_zero_latency",
+]
+REQUIRED_ENTRY = [
+    "collective",
+    "algo",
+    "ranks",
+    "payload_bytes",
+    "seconds",
+    "model_seconds",
+    "bytes_per_round",
+    "messages_per_round",
+    "root_bytes_per_round",
+]
+GATED_COUNTERS = ["bytes_per_round", "messages_per_round", "root_bytes_per_round"]
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+    for key in REQUIRED_TOP:
+        if key not in doc:
+            fail(f"{path}: missing key '{key}'")
+    if doc["bench"] != "comm" or doc["schema_version"] != 1:
+        fail(f"{path}: not a schema_version-1 comm record")
+    for i, entry in enumerate(doc["collectives"]):
+        for key in REQUIRED_ENTRY:
+            if key not in entry:
+                fail(f"{path}: collectives[{i}] missing '{key}'")
+    return doc
+
+
+def entry_key(e):
+    return (e["collective"], e["algo"], e["ranks"], e["payload_bytes"])
+
+
+def main(argv):
+    tolerance = 0.25
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--tolerance="):
+            tolerance = float(arg.split("=", 1)[1])
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    fresh = load(paths[0])
+    committed = load(paths[1])
+
+    claim = committed["claim_tree_beats_flat"]
+    if not claim.get("holds"):
+        fail("committed trajectory: claim_tree_beats_flat does not hold")
+    if claim.get("gather_model_speedup", 0) <= 1 or claim.get(
+        "bcast_model_speedup", 0
+    ) <= 1:
+        fail("committed trajectory: tree model speedups must exceed 1x")
+    pref = committed["prefetch"]
+    if not pref.get("bit_identical"):
+        fail("committed trajectory: prefetch results not bit-identical")
+    gain = pref["sync_seconds"] / pref["prefetch_seconds"] - 1.0
+    if gain < 0.20:
+        fail(
+            f"committed trajectory: prefetch gain {gain * 100:.1f}% "
+            "below the 20% acceptance bar"
+        )
+    if not committed["prefetch_zero_latency"].get("bit_identical"):
+        fail("committed trajectory: zero-latency prefetch not bit-identical")
+
+    committed_by_key = {entry_key(e): e for e in committed["collectives"]}
+    compared = 0
+    for e in fresh["collectives"]:
+        ref = committed_by_key.get(entry_key(e))
+        if ref is None:
+            continue
+        for counter in GATED_COUNTERS:
+            a, b = e[counter], ref[counter]
+            if a == b == 0:
+                continue
+            denom = max(abs(a), abs(b))
+            if abs(a - b) / denom > tolerance:
+                fail(
+                    f"{entry_key(e)}: {counter} regressed "
+                    f"{a:.1f} vs committed {b:.1f} (> {tolerance * 100:.0f}%)"
+                )
+        compared += 1
+    if compared == 0:
+        fail("no comparable collective entries between fresh and committed runs")
+
+    if not fresh["prefetch"].get("bit_identical"):
+        fail("fresh run: prefetch results not bit-identical")
+
+    print(
+        f"OK: {compared} collective entries within {tolerance * 100:.0f}%, "
+        f"claims hold (gather model speedup "
+        f"{claim['gather_model_speedup']:.2f}x, prefetch {gain * 100:+.1f}%)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
