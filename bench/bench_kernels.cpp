@@ -26,7 +26,6 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
-#include <ctime>
 #include <string>
 #include <thread>
 #include <vector>
@@ -383,16 +382,13 @@ bool write_json(const Harness& h, const std::string& path) {
     std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
     return false;
   }
-  char stamp[64] = "unknown";
-  const std::time_t now = std::time(nullptr);
-  if (std::tm* tm = std::gmtime(&now)) {
-    std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ", tm);
-  }
+  // No timestamp (or any other wall-clock artifact): the JSON must be
+  // bit-reproducible apart from the measured seconds, so CI can diff
+  // structure run-to-run. Enforced by the bench-clock lint rule.
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"kernels\",\n");
   std::fprintf(f, "  \"schema_version\": 1,\n");
   std::fprintf(f, "  \"smoke\": %s,\n", h.smoke() ? "true" : "false");
-  std::fprintf(f, "  \"timestamp\": \"%s\",\n", stamp);
   std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
                std::thread::hardware_concurrency());
   std::fprintf(f, "  \"blocking\": {\"mc\": %lld, \"kc\": %lld, \"nc\": %lld, "
