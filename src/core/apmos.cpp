@@ -34,6 +34,8 @@ ApmosResult apmos_svd(pmpi::Communicator& comm, const Matrix& a_local,
   // from every other rank — so root posts the whole gather BEFORE its
   // own Stage-1/2 factorization: the other ranks' blocks land while
   // root is busy in its local SVD.
+  // parsvd-pipelined begin (Stage-3 irecvs overlap the Stage-1/2 local
+  // factorization; a blocking receive here would serialize the gather)
   std::vector<pmpi::Request> w_reqs;
   if (!opts.fault_tolerant && comm.is_root() && comm.size() > 1) {
     w_reqs.reserve(static_cast<std::size_t>(comm.size() - 1));
@@ -49,6 +51,7 @@ ApmosResult apmos_svd(pmpi::Communicator& comm, const Matrix& a_local,
   for (Index j = 0; j < wlocal.cols(); ++j) {
     scal(slocal[j], wlocal.col_span(j));
   }
+  // parsvd-pipelined end
 
   // Root SVD of the assembled W with truncation to r2 (stages 4-5).
   const auto root_svd = [&](const Matrix& w) {

@@ -7,6 +7,7 @@
 #include "linalg/qr.hpp"
 #include "pmpi/request.hpp"
 #include "pmpi/tags.hpp"
+#include "pmpi/topology.hpp"
 #include "support/log.hpp"
 
 namespace parsvd {
@@ -125,35 +126,21 @@ TsqrResult tsqr_tree(pmpi::Communicator& comm, const Matrix& a_local) {
     return {std::move(local.q), std::move(local.r), {}};
   }
 
-  // A rank's whole exchange schedule is a pure function of (rank, p): it
-  // is "active" at level l while rank % 2^(l+1) == 0, receiving from
+  // A rank's whole exchange schedule is a pure function of (rank, p) —
+  // topology::tsqr_plan, shared with the static verifier: it is
+  // "active" at level l while rank % 2^(l+1) == 0, receiving from
   // partner rank + 2^l, and ships its R upward at the level of its
   // lowest set bit. That makes every receive postable BEFORE the local
   // panel factorization, so partners' R factors (and eventually the
   // parent's down-sweep transform) arrive while this rank is busy in
   // qr_thin — the up-sweep pipelining this variant exists for.
-  struct LevelPlan {
-    int level;
-    int partner;
-  };
-  std::vector<LevelPlan> plan;
-  int sent_level = -1;  // level at which we ship our R upward
-  int parent = -1;
-  for (int level = 0; (1 << level) < p; ++level) {
-    const int stride = 1 << level;
-    if (rank % (2 * stride) != 0) {
-      sent_level = level;
-      parent = rank - stride;
-      break;
-    }
-    const int partner = rank + stride;
-    if (partner >= p) continue;  // unpaired at this level; stay active
-    plan.push_back({level, partner});
-  }
+  const pmpi::topology::TsqrPlan plan = pmpi::topology::tsqr_plan(rank, p);
 
+  // parsvd-pipelined begin (pre-posted schedule overlaps qr_thin; a
+  // blocking receive here would serialize the up-sweep again)
   std::vector<pmpi::Request> up_reqs;
-  up_reqs.reserve(plan.size());
-  for (const LevelPlan& step : plan) {
+  up_reqs.reserve(plan.recvs.size());
+  for (const auto& step : plan.recvs) {
     up_reqs.push_back(comm.irecv(step.partner, tsqr_up(step.level)));
   }
   pmpi::Request t_req;
@@ -161,10 +148,11 @@ TsqrResult tsqr_tree(pmpi::Communicator& comm, const Matrix& a_local) {
     // The down-sweep transform from the parent is on a statically known
     // channel too; posting it now costs nothing and completes the
     // rank's whole receive schedule before any compute.
-    t_req = comm.irecv(parent, tsqr_down(sent_level));
+    t_req = comm.irecv(plan.parent, tsqr_down(plan.sent_level));
   }
 
   QrResult local = qr_thin(a_local);
+  // parsvd-pipelined end
 
   // Upward sweep: pairwise R combination, consuming the pre-posted
   // receives in level order.
@@ -176,21 +164,21 @@ TsqrResult tsqr_tree(pmpi::Communicator& comm, const Matrix& a_local) {
     int level;           // tree level (levels with no in-range partner skip)
   };
   std::vector<LevelRecord> records;
-  records.reserve(plan.size());
+  records.reserve(plan.recvs.size());
   Matrix r_mine = local.r;
-  for (std::size_t i = 0; i < plan.size(); ++i) {
+  for (std::size_t i = 0; i < plan.recvs.size(); ++i) {
     up_reqs[i].wait();
     Matrix r_partner = up_reqs[i].take_matrix();
     const Index rows_mine = r_mine.rows();
     const Index rows_partner = r_partner.rows();
     QrResult combined = qr_thin(vcat(r_mine, r_partner));
     records.push_back(LevelRecord{rows_mine, rows_partner,
-                                  std::move(combined.q), plan[i].partner,
-                                  plan[i].level});
+                                  std::move(combined.q), plan.recvs[i].partner,
+                                  plan.recvs[i].level});
     r_mine = std::move(combined.r);
   }
-  if (sent_level >= 0) {
-    comm.send_matrix(r_mine, parent, tsqr_up(sent_level));
+  if (plan.sent_level >= 0) {
+    comm.send_matrix(r_mine, plan.parent, tsqr_up(plan.sent_level));
   }
 
   // Downward sweep: unwind accumulated transforms. The final R lives at

@@ -1,7 +1,6 @@
 #include "pmpi/comm.hpp"
 
 #include <algorithm>
-#include <bit>
 #include <limits>
 #include <string>
 #include <thread>
@@ -689,46 +688,21 @@ void Communicator::bcast_index(Index& value, int root) {
 
 // --------------------------------------------- collective topology policy
 
+// The predicates themselves are pure functions in pmpi/topology.hpp,
+// shared with the static verifier; these wrappers bind them to the
+// live Context settings.
 bool Communicator::use_tree_gather() const {
-  switch (ctx_->collective_algo()) {
-    case CollectiveAlgo::Flat:
-      return false;
-    case CollectiveAlgo::Tree:
-      return size() > 2;  // at p <= 2 the tree IS the flat topology
-    case CollectiveAlgo::Auto:
-      // Rank count is the only input every rank is guaranteed to agree
-      // on (per-rank contribution sizes may straddle any byte
-      // threshold), so Auto switches on it alone.
-      return size() >= ctx_->tree_min_ranks();
-  }
-  return false;
+  return topology::use_tree_gather(ctx_->collective_algo(), size(),
+                                   ctx_->tree_min_ranks());
 }
 
 bool Communicator::use_tree_reduce(std::size_t bytes) const {
-  switch (ctx_->collective_algo()) {
-    case CollectiveAlgo::Flat:
-      return false;
-    case CollectiveAlgo::Tree:
-      return size() > 2;
-    case CollectiveAlgo::Auto:
-      // reduce/allreduce lengths are symmetric by API contract, so a
-      // size-aware switch is consistent across ranks.
-      return size() >= ctx_->tree_min_ranks() &&
-             bytes >= ctx_->eager_threshold_bytes();
-  }
-  return false;
+  return topology::use_tree_reduce(ctx_->collective_algo(), size(), bytes,
+                                   ctx_->tree_min_ranks(),
+                                   ctx_->eager_threshold_bytes());
 }
 
 namespace {
-
-/// Number of ranks in the binomial-gather subtree rooted at `vrank`
-/// (virtual rank, i.e. rotated so the collective's root is 0) out of
-/// `p` ranks: the span [vrank, vrank + lowbit(vrank)) clipped to p.
-int binomial_subtree(int vrank, int p) {
-  if (vrank == 0) return p;
-  const int low = vrank & -vrank;
-  return std::min(low, p - vrank);
-}
 
 /// Gather frames are self-describing so internal tree nodes can append
 /// subtrees without any global size agreement:
@@ -802,23 +776,23 @@ std::vector<std::vector<std::byte>> Communicator::gather_bytes_tree(
   const int vrank = (rank_ - root + p) % p;
   // Children sit at vrank + mask for every mask below our lowest set
   // bit (all of p for the root); the parent is vrank with that bit
-  // cleared. Receiving in ascending mask order matches the binomial
-  // schedule: small subtrees complete first while big ones are still
-  // aggregating below.
-  const int limit = vrank == 0 ? p : (vrank & -vrank);
-
+  // cleared (topology::binomial_*). Receiving in ascending mask order
+  // matches the binomial schedule: small subtrees complete first while
+  // big ones are still aggregating below.
   std::vector<std::vector<std::byte>> out;
   std::vector<std::pair<int, std::vector<std::byte>>> entries;
   if (vrank == 0) {
     out.resize(static_cast<std::size_t>(p));
     out[static_cast<std::size_t>(rank_)] = std::move(local);
   } else {
-    entries.reserve(static_cast<std::size_t>(binomial_subtree(vrank, p)));
+    entries.reserve(
+        static_cast<std::size_t>(topology::binomial_subtree(vrank, p)));
     entries.emplace_back(rank_, std::move(local));
   }
 
-  for (int mask = 1; mask < limit && vrank + mask < p; mask <<= 1) {
-    const int child = (vrank + mask + root) % p;
+  for (const int child_v :
+       topology::binomial_children(vrank, p, /*ascending=*/true)) {
+    const int child = (child_v + root) % p;
     // One frame per child: the child has already aggregated its whole
     // subtree, which is what turns the root's p-1 sequential receives
     // into log2(p) — the α·(P-1) → α·log P critical-path win.
@@ -829,7 +803,7 @@ std::vector<std::vector<std::byte>> Communicator::gather_bytes_tree(
   }
 
   if (vrank != 0) {
-    const int parent = ((vrank & (vrank - 1)) + root) % p;
+    const int parent = (topology::binomial_parent(vrank) + root) % p;
     ctx_->post(rank_, parent, tags::kGatherTree, encode_gather_frame(entries));
   }
   return out;
@@ -978,10 +952,10 @@ void Communicator::reduce_tree(std::span<double> data, Op op, int root) {
   // floating-point sense). Non-root `data` stays untouched.
   const int p = size();
   const int vrank = (rank_ - root + p) % p;
-  const int limit = vrank == 0 ? p : (vrank & -vrank);
   std::vector<double> acc(data.begin(), data.end());
-  for (int mask = 1; mask < limit && vrank + mask < p; mask <<= 1) {
-    const int child = (vrank + mask + root) % p;
+  for (const int child_v :
+       topology::binomial_children(vrank, p, /*ascending=*/true)) {
+    const int child = (child_v + root) % p;
     const std::vector<std::byte> payload =
         ctx_->wait(rank_, child, tags::kReduceTree);
     PARSVD_REQUIRE(payload.size() == data.size_bytes(),
@@ -993,7 +967,7 @@ void Communicator::reduce_tree(std::span<double> data, Op op, int root) {
   if (vrank == 0) {
     std::copy(acc.begin(), acc.end(), data.begin());
   } else {
-    const int parent = ((vrank & (vrank - 1)) + root) % p;
+    const int parent = (topology::binomial_parent(vrank) + root) % p;
     std::vector<std::byte> payload(data.size_bytes());
     std::memcpy(payload.data(), acc.data(), payload.size());
     ctx_->post(rank_, parent, tags::kReduceTree, std::move(payload));
@@ -1015,13 +989,12 @@ void Communicator::allreduce(std::span<double> data, Op op) {
 void Communicator::allreduce_rd(std::span<double> data, Op op) {
   // Recursive doubling over the largest power-of-two core, with the
   // surplus ranks folded in before and fanned out after (the classic
-  // MPICH shape). Every rank applies the same balanced combine tree,
-  // and the elementwise two-operand ops (sum/max/min of two doubles)
-  // are exactly commutative in IEEE arithmetic, so all ranks finish
-  // with bit-identical results.
-  const int p = size();
-  const int m = std::bit_floor(static_cast<unsigned>(p));
-  const int rem = p - m;
+  // MPICH shape; schedule math in topology::rd_schedule). Every rank
+  // applies the same balanced combine tree, and the elementwise
+  // two-operand ops (sum/max/min of two doubles) are exactly
+  // commutative in IEEE arithmetic, so all ranks finish with
+  // bit-identical results.
+  const topology::RdSchedule sched = topology::rd_schedule(rank_, size());
   std::vector<double> acc(data.begin(), data.end());
   std::vector<double> incoming;
 
@@ -1039,43 +1012,37 @@ void Communicator::allreduce_rd(std::span<double> data, Op op) {
 
   // Fold-in: the first 2*rem ranks pair up; odd ranks hand their data
   // to the even neighbour and sit out the doubling phase.
-  int vr;
-  if (rank_ < 2 * rem) {
-    if (rank_ % 2 == 1) {
-      std::vector<std::byte> payload(acc.size() * sizeof(double));
-      std::memcpy(payload.data(), acc.data(), payload.size());
-      ctx_->post(rank_, rank_ - 1, tags::kAllreduce, std::move(payload));
-      const std::vector<std::byte> result =
-          ctx_->wait(rank_, rank_ - 1, tags::kAllreduce);
-      PARSVD_REQUIRE(result.size() == data.size_bytes(),
-                     "allreduce: result size mismatch");
-      std::memcpy(data.data(), result.data(), result.size());
-      return;
-    }
+  if (sched.folded_out) {
+    std::vector<std::byte> payload(acc.size() * sizeof(double));
+    std::memcpy(payload.data(), acc.data(), payload.size());
+    ctx_->post(rank_, sched.fold_peer, tags::kAllreduce, std::move(payload));
+    const std::vector<std::byte> result =
+        ctx_->wait(rank_, sched.fold_peer, tags::kAllreduce);
+    PARSVD_REQUIRE(result.size() == data.size_bytes(),
+                   "allreduce: result size mismatch");
+    std::memcpy(data.data(), result.data(), result.size());
+    return;
+  }
+  if (sched.fold_peer >= 0) {
     const std::vector<std::byte> payload =
-        ctx_->wait(rank_, rank_ + 1, tags::kAllreduce);
+        ctx_->wait(rank_, sched.fold_peer, tags::kAllreduce);
     PARSVD_REQUIRE(payload.size() == data.size_bytes(),
                    "allreduce: contribution size mismatch");
     apply_op(op, acc,
              std::span<const double>(
                  reinterpret_cast<const double*>(payload.data()), data.size()));
-    vr = rank_ / 2;
-  } else {
-    vr = rank_ - rem;
   }
 
-  for (int mask = 1; mask < m; mask <<= 1) {
-    const int partner_v = vr ^ mask;
-    const int partner = partner_v < rem ? 2 * partner_v : partner_v + rem;
+  for (const int partner : sched.partners) {
     exchange_with(partner);
     apply_op(op, acc, incoming);
   }
 
-  if (rank_ < 2 * rem) {
+  if (sched.fold_peer >= 0) {
     // Fan the finished result back out to the folded-in odd partner.
     std::vector<std::byte> payload(acc.size() * sizeof(double));
     std::memcpy(payload.data(), acc.data(), payload.size());
-    ctx_->post(rank_, rank_ + 1, tags::kAllreduce, std::move(payload));
+    ctx_->post(rank_, sched.fold_peer, tags::kAllreduce, std::move(payload));
   }
   std::copy(acc.begin(), acc.end(), data.begin());
 }

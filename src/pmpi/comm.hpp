@@ -42,6 +42,7 @@
 #include "pmpi/fault.hpp"
 #include "pmpi/request.hpp"
 #include "pmpi/tags.hpp"
+#include "pmpi/topology.hpp"
 #include "support/error.hpp"
 
 namespace parsvd::pmpi {
@@ -49,23 +50,10 @@ namespace parsvd::pmpi {
 /// Reduction operators for reduce/allreduce.
 enum class Op { Sum, Max, Min };
 
-/// Collective algorithm selection (Context-wide so every rank of a job
-/// takes the same code path — a per-call or per-size disagreement
-/// between ranks would deadlock the collective).
-///   Flat — root-loop topologies everywhere (the seed behaviour for
-///          gather/reduce; also forces a flat one-level broadcast).
-///   Tree — binomial-tree gather/reduce/bcast and recursive-doubling
-///          allreduce regardless of size.
-///   Auto — size-aware: eager flat for small payloads and small jobs,
-///          log(P) trees once `tree_min_ranks` / `eager_threshold_bytes`
-///          are crossed. Broadcast always takes the tree (receivers do
-///          not know the payload size in advance, so a size-dependent
-///          switch could not be made consistently); gather switches on
-///          the rank count alone (per-rank contributions may differ in
-///          size, and only the rank count is guaranteed to be agreed on
-///          by everyone); reduce/allreduce switch on rank count and
-///          payload size (lengths are symmetric by API contract).
-enum class CollectiveAlgo { Auto, Flat, Tree };
+// CollectiveAlgo and the schedule math every collective follows live in
+// pmpi/topology.hpp, shared with the static verifier (src/verify): the
+// schedule the model checker proves deadlock-free is the schedule these
+// methods post.
 
 /// Serialize a matrix into the wire format used by send_matrix (shape
 /// header + column-major body). Exposed so degraded-mode callers can
@@ -562,34 +550,25 @@ void Communicator::bcast(std::vector<T>& data, int root) {
     return;
   }
 
-  // Rotate ranks so the tree is rooted at `root`.
+  // Classic binomial tree (shared schedule math in pmpi/topology.hpp):
+  // receive from the parent — vrank with its lowest set bit cleared —
+  // then fan out to the children in descending mask order, so big
+  // subtrees get the payload first and their forwarding overlaps the
+  // small sends. Ranks are rotated so the tree is rooted at `root`.
   const int vrank = (rank_ - root + p) % p;
-
-  // Classic binomial tree: walk masks upward until our set bit is found
-  // (that identifies our parent), then fan out to children at every mask
-  // below it.  Root walks past all masks and fans out to everyone's
-  // subtree heads.
-  int mask = 1;
-  while (mask < p) {
-    if (vrank & mask) {
-      const int parent = ((vrank ^ mask) + root) % p;
-      const std::vector<std::byte> payload =
-          ctx_->wait(rank_, parent, tags::kBcast);
-      data.resize(payload.size() / sizeof(T));
-      std::memcpy(data.data(), payload.data(), payload.size());
-      break;
-    }
-    mask <<= 1;
+  if (vrank != 0) {
+    const int parent = (topology::binomial_parent(vrank) + root) % p;
+    const std::vector<std::byte> payload =
+        ctx_->wait(rank_, parent, tags::kBcast);
+    data.resize(payload.size() / sizeof(T));
+    std::memcpy(data.data(), payload.data(), payload.size());
   }
-  mask >>= 1;
-  while (mask > 0) {
-    if (vrank + mask < p) {
-      const int child = (vrank + mask + root) % p;
-      std::vector<std::byte> payload(data.size() * sizeof(T));
-      std::memcpy(payload.data(), data.data(), payload.size());
-      ctx_->post(rank_, child, tags::kBcast, std::move(payload));
-    }
-    mask >>= 1;
+  for (const int child_v :
+       topology::binomial_children(vrank, p, /*ascending=*/false)) {
+    const int child = (child_v + root) % p;
+    std::vector<std::byte> payload(data.size() * sizeof(T));
+    std::memcpy(payload.data(), data.data(), payload.size());
+    ctx_->post(rank_, child, tags::kBcast, std::move(payload));
   }
 }
 

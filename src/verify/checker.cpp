@@ -1,0 +1,420 @@
+#include "verify/checker.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+#include <utility>
+
+#include "pmpi/tags.hpp"
+#include "support/error.hpp"
+
+namespace parsvd::verify {
+
+namespace {
+
+namespace tags = pmpi::tags;
+
+/// Directed channel identity: messages from `src` to `dst` under `tag`
+/// form one FIFO stream in the pmpi mailbox model.
+using ChannelKey = std::tuple<int, int, int>;  // (src, dst, tag)
+
+std::string channel_str(const ChannelKey& c) {
+  return "channel (src " + std::to_string(std::get<0>(c)) + " -> dst " +
+         std::to_string(std::get<1>(c)) + ", tag " +
+         std::to_string(std::get<2>(c)) + ")";
+}
+
+std::string bytes_str(std::uint64_t bytes) {
+  return bytes == kAnyBytes ? "? B" : std::to_string(bytes) + " B";
+}
+
+/// A few lines of one rank's script around `pc`, with a marker on the
+/// event under diagnosis (or "<end of script>" when pc is past it).
+void trace_rank(const CommScript& script, std::size_t pc,
+                std::vector<std::string>* out) {
+  const auto& events = script.events();
+  out->push_back("rank " + std::to_string(script.rank()) + " (event " +
+                 std::to_string(pc) + " of " + std::to_string(events.size()) +
+                 "):");
+  const std::size_t begin = pc >= 2 ? pc - 2 : 0;
+  const std::size_t end = std::min(events.size(), pc + 3);
+  for (std::size_t i = begin; i < end; ++i) {
+    out->push_back(std::string(i == pc ? "  > [" : "    [") +
+                   std::to_string(i) + "] " + to_string(events[i]));
+  }
+  if (pc >= events.size()) out->push_back("  > <end of script>");
+}
+
+// ------------------------------------------------------------ tag check
+
+void check_tags(const Schedule& s, std::vector<Violation>* out) {
+  for (const CommScript& script : s.ranks) {
+    for (std::size_t i = 0; i < script.events().size(); ++i) {
+      const CommEvent& e = script.events()[i];
+      if (e.kind == CommEvent::Kind::Wait || e.kind == CommEvent::Kind::WaitAll)
+        continue;
+      if (tag_registered(e.tag)) continue;
+      Violation v;
+      v.kind = Violation::Kind::UnregisteredTag;
+      v.message = "tag " + std::to_string(e.tag) +
+                  " is outside every pmpi/tags.hpp reservation";
+      trace_rank(script, i, &v.trace);
+      out->push_back(std::move(v));
+    }
+  }
+}
+
+// ------------------------------------------------- match-completeness
+
+struct SeqEntry {
+  std::uint64_t bytes;
+  int rank;        ///< owning rank (for the trace)
+  std::size_t pc;  ///< event index in that rank's script
+};
+
+void check_matching(const Schedule& s, std::vector<Violation>* out) {
+  std::map<ChannelKey, std::vector<SeqEntry>> sends;
+  std::map<ChannelKey, std::vector<SeqEntry>> recvs;
+  for (const CommScript& script : s.ranks) {
+    for (std::size_t i = 0; i < script.events().size(); ++i) {
+      const CommEvent& e = script.events()[i];
+      switch (e.kind) {
+        case CommEvent::Kind::Send:
+          PARSVD_REQUIRE(e.peer >= 0 && e.peer < s.size(),
+                         "checker: send peer out of range");
+          sends[{script.rank(), e.peer, e.tag}].push_back(
+              {e.bytes, script.rank(), i});
+          break;
+        case CommEvent::Kind::Recv:
+        case CommEvent::Kind::IrecvPost:
+          // Per-channel consumption is FIFO no matter how waits
+          // interleave, so program order of the receive INTENTS is the
+          // consumption order on each channel.
+          PARSVD_REQUIRE(e.peer >= 0 && e.peer < s.size(),
+                         "checker: recv peer out of range");
+          recvs[{e.peer, script.rank(), e.tag}].push_back(
+              {e.bytes, script.rank(), i});
+          break;
+        case CommEvent::Kind::Wait:
+        case CommEvent::Kind::WaitAll:
+          break;
+      }
+    }
+  }
+
+  std::set<ChannelKey> channels;
+  for (const auto& [key, seq] : sends) channels.insert(key);
+  for (const auto& [key, seq] : recvs) channels.insert(key);
+
+  const auto entry_trace = [&](const SeqEntry& entry,
+                               std::vector<std::string>* trace) {
+    trace_rank(s.ranks[static_cast<std::size_t>(entry.rank)], entry.pc, trace);
+  };
+
+  for (const ChannelKey& key : channels) {
+    const std::vector<SeqEntry>& sent = sends[key];
+    const std::vector<SeqEntry>& received = recvs[key];
+    const std::size_t common = std::min(sent.size(), received.size());
+    for (std::size_t i = 0; i < common; ++i) {
+      if (sent[i].bytes == received[i].bytes ||
+          sent[i].bytes == kAnyBytes || received[i].bytes == kAnyBytes) {
+        continue;
+      }
+      Violation v;
+      v.kind = Violation::Kind::ByteMismatch;
+      v.message = "message " + std::to_string(i) + " on " + channel_str(key) +
+                  ": sender posts " + bytes_str(sent[i].bytes) +
+                  ", receiver expects " + bytes_str(received[i].bytes);
+      entry_trace(sent[i], &v.trace);
+      entry_trace(received[i], &v.trace);
+      out->push_back(std::move(v));
+    }
+    for (std::size_t i = common; i < sent.size(); ++i) {
+      Violation v;
+      v.kind = Violation::Kind::UnmatchedSend;
+      v.message = "send " + std::to_string(i) + " on " + channel_str(key) +
+                  " (" + bytes_str(sent[i].bytes) +
+                  ") has no matching receive";
+      entry_trace(sent[i], &v.trace);
+      out->push_back(std::move(v));
+    }
+    for (std::size_t i = common; i < received.size(); ++i) {
+      Violation v;
+      v.kind = Violation::Kind::UnmatchedRecv;
+      v.message = "receive " + std::to_string(i) + " on " + channel_str(key) +
+                  " (" + bytes_str(received[i].bytes) +
+                  ") has no matching send";
+      entry_trace(received[i], &v.trace);
+      out->push_back(std::move(v));
+    }
+  }
+}
+
+// --------------------------------------------------- channel discipline
+
+void check_discipline(const Schedule& s, std::vector<Violation>* out) {
+  for (const CommScript& script : s.ranks) {
+    // (src, tag) -> pc of the open irecv; and req -> its channel.
+    std::map<std::pair<int, int>, std::size_t> open;
+    std::map<int, std::pair<int, int>> req_channel;
+    const auto close_req = [&](int req, std::size_t pc) {
+      const auto it = req_channel.find(req);
+      if (it == req_channel.end()) {
+        Violation v;
+        v.kind = Violation::Kind::BadWait;
+        v.message = "wait on request " + std::to_string(req) +
+                    " which is not outstanding (already completed, or "
+                    "never posted)";
+        trace_rank(script, pc, &v.trace);
+        out->push_back(std::move(v));
+        return;
+      }
+      open.erase(it->second);
+      req_channel.erase(it);
+    };
+    for (std::size_t i = 0; i < script.events().size(); ++i) {
+      const CommEvent& e = script.events()[i];
+      switch (e.kind) {
+        case CommEvent::Kind::Send:
+          break;
+        case CommEvent::Kind::Recv:
+        case CommEvent::Kind::IrecvPost: {
+          const auto it = open.find({e.peer, e.tag});
+          if (it != open.end()) {
+            Violation v;
+            v.kind = Violation::Kind::ChannelOverlap;
+            v.message =
+                std::string(e.kind == CommEvent::Kind::Recv
+                                ? "blocking receive overlaps an outstanding "
+                                  "non-blocking receive"
+                                : "two outstanding non-blocking receives "
+                                  "share a channel") +
+                " on " +
+                channel_str({e.peer, script.rank(), e.tag});
+            trace_rank(script, it->second, &v.trace);
+            trace_rank(script, i, &v.trace);
+            out->push_back(std::move(v));
+          } else if (e.kind == CommEvent::Kind::IrecvPost) {
+            open[{e.peer, e.tag}] = i;
+            req_channel[e.req] = {e.peer, e.tag};
+          }
+          break;
+        }
+        case CommEvent::Kind::Wait:
+          close_req(e.req, i);
+          break;
+        case CommEvent::Kind::WaitAll:
+          for (const int req : e.reqs) close_req(req, i);
+          break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------- greedy simulation
+
+/// One rank's simulation cursor.
+struct RankState {
+  std::size_t pc = 0;
+  /// Open irecv request -> channel it will consume from.
+  std::map<int, ChannelKey> open_reqs;
+};
+
+void check_progress(const Schedule& s, std::vector<Violation>* out) {
+  const int p = s.size();
+  std::vector<RankState> st(static_cast<std::size_t>(p));
+  // In-flight message byte counts per channel, FIFO order.
+  std::map<ChannelKey, std::vector<std::uint64_t>> queues;
+  std::map<ChannelKey, std::size_t> heads;  // consumed prefix per queue
+
+  const auto available = [&](const ChannelKey& key) {
+    const auto it = queues.find(key);
+    return it != queues.end() && heads[key] < it->second.size();
+  };
+  const auto consume = [&](const ChannelKey& key) { ++heads[key]; };
+
+  // Try to execute rank r's next event; true when it made progress.
+  const auto step = [&](int r) {
+    RankState& rank = st[static_cast<std::size_t>(r)];
+    const CommScript& script = s.ranks[static_cast<std::size_t>(r)];
+    if (rank.pc >= script.events().size()) return false;
+    const CommEvent& e = script.events()[rank.pc];
+    switch (e.kind) {
+      case CommEvent::Kind::Send:
+        queues[{r, e.peer, e.tag}].push_back(e.bytes);
+        break;
+      case CommEvent::Kind::Recv: {
+        const ChannelKey key{e.peer, r, e.tag};
+        if (!available(key)) return false;
+        consume(key);
+        break;
+      }
+      case CommEvent::Kind::IrecvPost:
+        // Registration only; the message is consumed at the wait. A
+        // malformed double-post was already reported by the discipline
+        // pass — the simulation keeps the latest and carries on.
+        rank.open_reqs[e.req] = {e.peer, r, e.tag};
+        break;
+      case CommEvent::Kind::Wait: {
+        const auto it = rank.open_reqs.find(e.req);
+        if (it == rank.open_reqs.end()) break;  // reported as BadWait
+        if (!available(it->second)) return false;
+        consume(it->second);
+        rank.open_reqs.erase(it);
+        break;
+      }
+      case CommEvent::Kind::WaitAll: {
+        // wait_any consumes completions as they arrive, but consuming a
+        // buffered message has no effect on any other rank's
+        // enabledness, so "block until every channel has one" reaches
+        // the same states beyond this event.
+        for (const int req : e.reqs) {
+          const auto it = rank.open_reqs.find(req);
+          if (it != rank.open_reqs.end() && !available(it->second))
+            return false;
+        }
+        for (const int req : e.reqs) {
+          const auto it = rank.open_reqs.find(req);
+          if (it == rank.open_reqs.end()) continue;
+          consume(it->second);
+          rank.open_reqs.erase(it);
+        }
+        break;
+      }
+    }
+    ++rank.pc;
+    return true;
+  };
+
+  for (;;) {
+    bool progressed = false;
+    for (int r = 0; r < p; ++r) {
+      while (step(r)) progressed = true;
+    }
+    if (!progressed) break;
+  }
+
+  // Fully drained: every rank ran its script to the end.
+  std::vector<int> stuck;
+  for (int r = 0; r < p; ++r) {
+    if (st[static_cast<std::size_t>(r)].pc <
+        s.ranks[static_cast<std::size_t>(r)].events().size()) {
+      stuck.push_back(r);
+    }
+  }
+  if (stuck.empty()) return;
+
+  // Stalled. Build the wait-for graph: each stuck rank points at the
+  // source ranks of the empty channels its blocking event needs.
+  const auto blockers = [&](int r) {
+    std::vector<ChannelKey> needs;
+    const RankState& rank = st[static_cast<std::size_t>(r)];
+    const CommEvent& e =
+        s.ranks[static_cast<std::size_t>(r)].events()[rank.pc];
+    switch (e.kind) {
+      case CommEvent::Kind::Recv:
+        needs.push_back({e.peer, r, e.tag});
+        break;
+      case CommEvent::Kind::Wait: {
+        const auto it = rank.open_reqs.find(e.req);
+        if (it != rank.open_reqs.end()) needs.push_back(it->second);
+        break;
+      }
+      case CommEvent::Kind::WaitAll:
+        for (const int req : e.reqs) {
+          const auto it = rank.open_reqs.find(req);
+          if (it != rank.open_reqs.end() && !available(it->second))
+            needs.push_back(it->second);
+        }
+        break;
+      default:
+        break;
+    }
+    return needs;
+  };
+
+  Violation v;
+  v.kind = Violation::Kind::Deadlock;
+  std::vector<int> cycle_hint;
+  for (const int r : stuck) {
+    for (const ChannelKey& key : blockers(r)) {
+      const int src = std::get<0>(key);
+      const bool src_finished =
+          std::find(stuck.begin(), stuck.end(), src) == stuck.end();
+      v.trace.push_back("rank " + std::to_string(r) + " blocked on " +
+                        channel_str(key) +
+                        (src_finished ? " — source rank has FINISHED its "
+                                        "script (dropped send)"
+                                      : " — source rank is itself blocked"));
+      if (!src_finished) cycle_hint.push_back(src);
+    }
+    trace_rank(s.ranks[static_cast<std::size_t>(r)],
+               st[static_cast<std::size_t>(r)].pc, &v.trace);
+  }
+  v.message =
+      std::to_string(stuck.size()) + " of " + std::to_string(p) +
+      " ranks cannot run to completion" +
+      (cycle_hint.empty() ? " (stalled on messages never sent)"
+                          : " (cyclic wait-for)");
+  out->push_back(std::move(v));
+}
+
+}  // namespace
+
+bool tag_registered(int tag) {
+  if (tag >= tags::kAllreduce && tag <= tags::kBcast) return true;
+  if (tag >= tags::kTsqrUpBase && tag < tags::kApmosGatherBase + tags::kRangeWidth)
+    return true;
+  return tag >= tags::kUserBase;
+}
+
+const char* to_string(Violation::Kind kind) {
+  switch (kind) {
+    case Violation::Kind::UnregisteredTag:
+      return "unregistered-tag";
+    case Violation::Kind::UnmatchedSend:
+      return "unmatched-send";
+    case Violation::Kind::UnmatchedRecv:
+      return "unmatched-recv";
+    case Violation::Kind::ByteMismatch:
+      return "byte-mismatch";
+    case Violation::Kind::ChannelOverlap:
+      return "channel-overlap";
+    case Violation::Kind::BadWait:
+      return "bad-wait";
+    case Violation::Kind::Deadlock:
+      return "deadlock";
+  }
+  return "?";
+}
+
+std::string CheckReport::to_string() const {
+  if (ok()) {
+    return "PASS " + schedule + " (" + std::to_string(events_checked) +
+           " events)";
+  }
+  std::string out = "FAIL " + schedule + " — " +
+                    std::to_string(violations.size()) + " violation(s)\n";
+  for (const Violation& v : violations) {
+    out += "  [" + std::string(verify::to_string(v.kind)) + "] " + v.message +
+           "\n";
+    for (const std::string& line : v.trace) {
+      out += "    " + line + "\n";
+    }
+  }
+  return out;
+}
+
+CheckReport check_schedule(const Schedule& s) {
+  CheckReport report;
+  report.schedule = s.name;
+  report.events_checked = s.total_events();
+  check_tags(s, &report.violations);
+  check_matching(s, &report.violations);
+  check_discipline(s, &report.violations);
+  check_progress(s, &report.violations);
+  return report;
+}
+
+}  // namespace parsvd::verify

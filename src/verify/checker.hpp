@@ -1,0 +1,73 @@
+// ScheduleChecker: proves communication-correctness properties of a
+// CommScript Schedule without executing it.
+//
+// Checked properties:
+//   1. Tag registry   — every wire tag comes from pmpi/tags.hpp (a
+//                       named collective tag, a solver band, or the
+//                       application space at kUserBase and above).
+//   2. Match-completeness — on every (src, dst, tag) channel the
+//                       ordered send byte-sequence equals the ordered
+//                       receive byte-sequence (kAnyBytes matches any).
+//   3. Channel discipline — no two outstanding non-blocking receives
+//                       (and no blocking receive racing one) ever share
+//                       a (dst, src, tag) channel: the same invariant
+//                       Context::register_irecv enforces in debug runs.
+//   4. Deadlock-freedom — a greedy whole-schedule simulation reaches
+//                       completion. Sends are buffered (never block) and
+//                       each channel has a single consumer draining it
+//                       in FIFO order, so every maximal execution of a
+//                       schedule consumes the same messages: greedy
+//                       stalling is equivalent to SOME real execution
+//                       stalling, and greedy completing proves ALL real
+//                       executions complete (confluence).
+//
+// On failure the report carries a counterexample: the violating channel
+// or the wait-for cycle, with each blocked rank's program position.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "verify/comm_script.hpp"
+
+namespace parsvd::verify {
+
+/// True when `tag` belongs to a reserved range of pmpi/tags.hpp: the
+/// named collective tags, the solver protocol bands, or the application
+/// space at kUserBase and above.
+bool tag_registered(int tag);
+
+struct Violation {
+  enum class Kind {
+    UnregisteredTag,  ///< tag outside every tags.hpp reservation
+    UnmatchedSend,    ///< channel has more sends than receives
+    UnmatchedRecv,    ///< channel has more receives than sends
+    ByteMismatch,     ///< n-th send and n-th receive disagree on size
+    ChannelOverlap,   ///< concurrent receives share a channel
+    BadWait,          ///< wait on an already-completed request
+    Deadlock,         ///< cyclic wait-for (or stall on a finished peer)
+  };
+  Kind kind;
+  std::string message;             ///< one-line diagnosis
+  std::vector<std::string> trace;  ///< counterexample, one line each
+};
+
+const char* to_string(Violation::Kind kind);
+
+struct CheckReport {
+  std::string schedule;  ///< Schedule::name
+  std::size_t events_checked = 0;
+  std::vector<Violation> violations;
+
+  bool ok() const { return violations.empty(); }
+  /// Multi-line rendering: PASS one-liner, or every violation with its
+  /// counterexample trace indented below it.
+  std::string to_string() const;
+};
+
+/// Run all four checks on `s`. Never throws on schedule defects — they
+/// all land in the report (throws only on malformed CommScript data,
+/// e.g. a peer rank outside [0, P)).
+CheckReport check_schedule(const Schedule& s);
+
+}  // namespace parsvd::verify

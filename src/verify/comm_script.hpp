@@ -1,0 +1,85 @@
+// CommScript: a solver's communication schedule as plain data.
+//
+// The verify layer never spawns a thread or touches a payload. Each
+// protocol emitter (schedules.hpp) replays the schedule math the
+// production code shares with it (pmpi/topology.hpp) and records, per
+// rank, the ordered sequence of wire operations the rank would post:
+// sends, blocking receives, non-blocking receive posts and their
+// completion waits — each carrying (peer, tag, byte count) and nothing
+// else. The ScheduleChecker (checker.hpp) then proves properties of
+// the recorded choreography without ever executing it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace parsvd::verify {
+
+/// Wildcard byte count for messages whose size is not statically known
+/// to the receiver (the checker then matches on (peer, tag) only).
+inline constexpr std::uint64_t kAnyBytes = ~std::uint64_t{0};
+
+/// One wire operation of one rank, in program order.
+struct CommEvent {
+  enum class Kind {
+    Send,       ///< buffered post to `peer` — never blocks in pmpi
+    Recv,       ///< blocking receive from `peer`
+    IrecvPost,  ///< non-blocking receive registration (opens `req`)
+    Wait,       ///< blocking completion of the irecv that opened `req`
+    WaitAll,    ///< blocking completion of `reqs` in any order (the
+                ///< wait_any consume loop, order-abstracted)
+  };
+  Kind kind = Kind::Send;
+  int peer = -1;  ///< Send: destination rank; Recv/IrecvPost: source rank
+  int tag = 0;
+  std::uint64_t bytes = 0;  ///< payload bytes (kAnyBytes = unknown)
+  int req = -1;             ///< IrecvPost: id it opens; Wait: id it closes
+  std::vector<int> reqs;    ///< WaitAll: ids it closes
+  std::string note;         ///< human context for counterexample traces
+};
+
+const char* to_string(CommEvent::Kind kind);
+/// One-line rendering for counterexample traces, e.g.
+/// "Recv(src=3, tag=-2, 40 B)  // bcast down-edge".
+std::string to_string(const CommEvent& e);
+
+/// One rank's ordered schedule plus its irecv bookkeeping.
+class CommScript {
+ public:
+  explicit CommScript(int rank) : rank_(rank) {}
+
+  int rank() const { return rank_; }
+  const std::vector<CommEvent>& events() const { return events_; }
+
+  void send(int dest, int tag, std::uint64_t bytes, std::string note = "");
+  void recv(int src, int tag, std::uint64_t bytes, std::string note = "");
+  /// Returns the request id for a later wait()/wait_all().
+  int irecv(int src, int tag, std::uint64_t bytes, std::string note = "");
+  void wait(int req, std::string note = "");
+  void wait_all(std::vector<int> reqs, std::string note = "");
+
+ private:
+  int rank_;
+  int next_req_ = 0;
+  std::vector<CommEvent> events_;
+};
+
+/// One protocol instance: a named set of per-rank scripts, index = rank.
+struct Schedule {
+  std::string name;  ///< e.g. "gather(p=12, root=0, algo=tree)"
+  std::vector<CommScript> ranks;
+
+  int size() const { return static_cast<int>(ranks.size()); }
+  std::size_t total_events() const {
+    std::size_t n = 0;
+    for (const CommScript& s : ranks) n += s.events().size();
+    return n;
+  }
+};
+
+/// A Schedule with one per-rank script builder per rank, ready to emit.
+Schedule make_schedule(std::string name, int p);
+
+}  // namespace parsvd::verify

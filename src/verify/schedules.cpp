@@ -1,0 +1,356 @@
+#include "verify/schedules.hpp"
+
+#include <utility>
+
+#include "pmpi/tags.hpp"
+#include "support/error.hpp"
+
+namespace parsvd::verify {
+
+namespace {
+
+namespace tags = pmpi::tags;
+namespace topo = pmpi::topology;
+
+/// Packed Matrix wire size: [i64 rows][i64 cols][doubles...].
+constexpr std::uint64_t matrix_bytes(std::int64_t rows, std::int64_t cols) {
+  return 2 * sizeof(std::int64_t) +
+         static_cast<std::uint64_t>(rows * cols) * sizeof(double);
+}
+
+/// Mirror of Communicator::bcast appended onto an existing schedule, so
+/// the composite protocols (allreduce fallback, allgather, TSQR final R)
+/// reuse it exactly as the production code reuses bcast().
+void emit_bcast(Schedule& s, int root, std::uint64_t bytes,
+                const CollectiveConfig& cfg, const std::string& note) {
+  const int p = s.size();
+  if (p == 1) return;
+  if (cfg.algo == pmpi::CollectiveAlgo::Flat) {
+    for (int r = 0; r < p; ++r) {
+      if (r == root) {
+        for (int dst = 0; dst < p; ++dst) {
+          if (dst == root) continue;
+          s.ranks[static_cast<std::size_t>(r)].send(dst, tags::kBcast, bytes,
+                                                    note);
+        }
+      } else {
+        s.ranks[static_cast<std::size_t>(r)].recv(root, tags::kBcast, bytes,
+                                                  note);
+      }
+    }
+    return;
+  }
+  for (int r = 0; r < p; ++r) {
+    CommScript& script = s.ranks[static_cast<std::size_t>(r)];
+    const int vrank = (r - root + p) % p;
+    if (vrank != 0) {
+      const int parent = (topo::binomial_parent(vrank) + root) % p;
+      script.recv(parent, tags::kBcast, bytes, note);
+    }
+    for (const int child_v : topo::binomial_children(vrank, p,
+                                                     /*ascending=*/false)) {
+      script.send((child_v + root) % p, tags::kBcast, bytes, note);
+    }
+  }
+}
+
+/// Mirror of Communicator::gather_bytes_impl (flat root loop or binomial
+/// tree with framed subtree aggregation).
+void emit_gather(Schedule& s, int root,
+                 std::span<const std::uint64_t> bytes_per_rank,
+                 const CollectiveConfig& cfg, const std::string& note) {
+  const int p = s.size();
+  PARSVD_REQUIRE(static_cast<int>(bytes_per_rank.size()) == p,
+                 "emit_gather: need one byte count per rank");
+  if (p == 1) return;
+  if (!topo::use_tree_gather(cfg.algo, p, cfg.tree_min_ranks)) {
+    for (int r = 0; r < p; ++r) {
+      if (r == root) continue;
+      s.ranks[static_cast<std::size_t>(r)].send(
+          root, tags::kGather, bytes_per_rank[static_cast<std::size_t>(r)],
+          note);
+    }
+    for (int src = 0; src < p; ++src) {
+      if (src == root) continue;
+      s.ranks[static_cast<std::size_t>(root)].recv(
+          src, tags::kGather, bytes_per_rank[static_cast<std::size_t>(src)],
+          note);
+    }
+    return;
+  }
+  // A node's frame carries its whole virtual subtree [vrank, vrank+n):
+  //   [u64 n][n x (u64 src, u64 nbytes)][payloads...]
+  const auto frame_bytes = [&](int vrank) {
+    const int n = topo::binomial_subtree(vrank, p);
+    std::uint64_t total = sizeof(std::uint64_t) +
+                          static_cast<std::uint64_t>(n) * 2 *
+                              sizeof(std::uint64_t);
+    for (int v = vrank; v < vrank + n; ++v) {
+      total += bytes_per_rank[static_cast<std::size_t>((v + root) % p)];
+    }
+    return total;
+  };
+  for (int r = 0; r < p; ++r) {
+    CommScript& script = s.ranks[static_cast<std::size_t>(r)];
+    const int vrank = (r - root + p) % p;
+    for (const int child_v : topo::binomial_children(vrank, p,
+                                                     /*ascending=*/true)) {
+      script.recv((child_v + root) % p, tags::kGatherTree,
+                  frame_bytes(child_v), note + " subtree frame");
+    }
+    if (vrank != 0) {
+      script.send((topo::binomial_parent(vrank) + root) % p, tags::kGatherTree,
+                  frame_bytes(vrank), note + " subtree frame");
+    }
+  }
+}
+
+/// Mirror of Communicator::reduce (flat root loop or binomial tree).
+void emit_reduce(Schedule& s, int root, std::uint64_t bytes,
+                 const CollectiveConfig& cfg, const std::string& note) {
+  const int p = s.size();
+  if (p == 1) return;
+  if (topo::use_tree_reduce(cfg.algo, p, bytes, cfg.tree_min_ranks,
+                            cfg.eager_threshold_bytes)) {
+    for (int r = 0; r < p; ++r) {
+      CommScript& script = s.ranks[static_cast<std::size_t>(r)];
+      const int vrank = (r - root + p) % p;
+      for (const int child_v : topo::binomial_children(vrank, p,
+                                                       /*ascending=*/true)) {
+        script.recv((child_v + root) % p, tags::kReduceTree, bytes, note);
+      }
+      if (vrank != 0) {
+        script.send((topo::binomial_parent(vrank) + root) % p,
+                    tags::kReduceTree, bytes, note);
+      }
+    }
+    return;
+  }
+  for (int r = 0; r < p; ++r) {
+    if (r == root) continue;
+    s.ranks[static_cast<std::size_t>(r)].send(root, tags::kReduce, bytes, note);
+  }
+  for (int src = 0; src < p; ++src) {
+    if (src == root) continue;
+    s.ranks[static_cast<std::size_t>(root)].recv(src, tags::kReduce, bytes,
+                                                 note);
+  }
+}
+
+/// Mirror of Communicator::allreduce (recursive doubling above the eager
+/// threshold, reduce-to-0 + bcast below it).
+void emit_allreduce(Schedule& s, std::uint64_t bytes,
+                    const CollectiveConfig& cfg, const std::string& note) {
+  const int p = s.size();
+  if (p == 1) return;
+  if (!topo::use_tree_reduce(cfg.algo, p, bytes, cfg.tree_min_ranks,
+                             cfg.eager_threshold_bytes)) {
+    // allreduce() delegates to reduce(0) + bcast(0); reduce re-evaluates
+    // the same predicate with the same inputs, so it stays flat.
+    emit_reduce(s, 0, bytes, cfg, note + " reduce leg");
+    emit_bcast(s, 0, bytes, cfg, note + " bcast leg");
+    return;
+  }
+  for (int r = 0; r < p; ++r) {
+    CommScript& script = s.ranks[static_cast<std::size_t>(r)];
+    const topo::RdSchedule sched = topo::rd_schedule(r, p);
+    if (sched.folded_out) {
+      script.send(sched.fold_peer, tags::kAllreduce, bytes, note + " fold-in");
+      script.recv(sched.fold_peer, tags::kAllreduce, bytes, note + " fan-out");
+      continue;
+    }
+    if (sched.fold_peer >= 0) {
+      script.recv(sched.fold_peer, tags::kAllreduce, bytes, note + " fold-in");
+    }
+    for (const int partner : sched.partners) {
+      script.send(partner, tags::kAllreduce, bytes, note + " rd exchange");
+      script.recv(partner, tags::kAllreduce, bytes, note + " rd exchange");
+    }
+    if (sched.fold_peer >= 0) {
+      script.send(sched.fold_peer, tags::kAllreduce, bytes, note + " fan-out");
+    }
+  }
+}
+
+std::string algo_name(pmpi::CollectiveAlgo algo) {
+  switch (algo) {
+    case pmpi::CollectiveAlgo::Auto:
+      return "auto";
+    case pmpi::CollectiveAlgo::Flat:
+      return "flat";
+    case pmpi::CollectiveAlgo::Tree:
+      return "tree";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string CollectiveConfig::suffix() const {
+  return ", algo=" + algo_name(algo) +
+         ", eager=" + std::to_string(eager_threshold_bytes) +
+         ", tmr=" + std::to_string(tree_min_ranks);
+}
+
+Schedule script_bcast(int p, int root, std::uint64_t bytes,
+                      const CollectiveConfig& cfg) {
+  Schedule s = make_schedule("bcast(p=" + std::to_string(p) +
+                                 ", root=" + std::to_string(root) + ", " +
+                                 std::to_string(bytes) + " B" + cfg.suffix() +
+                                 ")",
+                             p);
+  emit_bcast(s, root, bytes, cfg, "bcast");
+  return s;
+}
+
+Schedule script_gather(int p, int root,
+                       std::span<const std::uint64_t> bytes_per_rank,
+                       const CollectiveConfig& cfg) {
+  Schedule s = make_schedule("gather(p=" + std::to_string(p) +
+                                 ", root=" + std::to_string(root) +
+                                 cfg.suffix() + ")",
+                             p);
+  emit_gather(s, root, bytes_per_rank, cfg, "gather");
+  return s;
+}
+
+Schedule script_allgather(int p, std::uint64_t per_rank_bytes,
+                          const CollectiveConfig& cfg) {
+  Schedule s = make_schedule("allgather(p=" + std::to_string(p) + ", " +
+                                 std::to_string(per_rank_bytes) +
+                                 " B/rank" + cfg.suffix() + ")",
+                             p);
+  const std::vector<std::uint64_t> per_rank(static_cast<std::size_t>(p),
+                                            per_rank_bytes);
+  emit_gather(s, 0, per_rank, cfg, "allgather gather leg");
+  emit_bcast(s, 0, per_rank_bytes * static_cast<std::uint64_t>(p), cfg,
+             "allgather bcast leg");
+  return s;
+}
+
+Schedule script_reduce(int p, int root, std::uint64_t bytes,
+                       const CollectiveConfig& cfg) {
+  Schedule s = make_schedule("reduce(p=" + std::to_string(p) +
+                                 ", root=" + std::to_string(root) + ", " +
+                                 std::to_string(bytes) + " B" + cfg.suffix() +
+                                 ")",
+                             p);
+  emit_reduce(s, root, bytes, cfg, "reduce");
+  return s;
+}
+
+Schedule script_allreduce(int p, std::uint64_t bytes,
+                          const CollectiveConfig& cfg) {
+  Schedule s = make_schedule("allreduce(p=" + std::to_string(p) + ", " +
+                                 std::to_string(bytes) + " B" + cfg.suffix() +
+                                 ")",
+                             p);
+  emit_allreduce(s, bytes, cfg, "allreduce");
+  return s;
+}
+
+Schedule script_scatter_rows(int p, int root,
+                             std::span<const std::uint64_t> block_bytes,
+                             const CollectiveConfig& cfg) {
+  PARSVD_REQUIRE(static_cast<int>(block_bytes.size()) == p,
+                 "script_scatter_rows: need one block size per rank");
+  Schedule s = make_schedule("scatter_rows(p=" + std::to_string(p) +
+                                 ", root=" + std::to_string(root) +
+                                 cfg.suffix() + ")",
+                             p);
+  if (p == 1) return s;
+  for (int dst = 0; dst < p; ++dst) {
+    if (dst == root) continue;
+    s.ranks[static_cast<std::size_t>(root)].send(
+        dst, tags::kScatter, block_bytes[static_cast<std::size_t>(dst)],
+        "scatter row block");
+    s.ranks[static_cast<std::size_t>(dst)].recv(
+        root, tags::kScatter, block_bytes[static_cast<std::size_t>(dst)],
+        "scatter row block");
+  }
+  return s;
+}
+
+Schedule script_tsqr_tree(int p, std::int64_t k, const CollectiveConfig& cfg) {
+  Schedule s = make_schedule("tsqr_tree(p=" + std::to_string(p) +
+                                 ", k=" + std::to_string(k) + cfg.suffix() +
+                                 ")",
+                             p);
+  if (p == 1) return s;
+  // With local rows >= k (the documented precondition), every exchanged
+  // R factor and down-sweep transform is a packed k x k matrix.
+  const std::uint64_t kk = matrix_bytes(k, k);
+  for (int r = 0; r < p; ++r) {
+    CommScript& script = s.ranks[static_cast<std::size_t>(r)];
+    const topo::TsqrPlan plan = topo::tsqr_plan(r, p);
+
+    // Pre-posted receive schedule (the pipelined region): every up-sweep
+    // R and the parent's down-sweep transform, before any compute.
+    std::vector<int> up_reqs;
+    up_reqs.reserve(plan.recvs.size());
+    for (const auto& step : plan.recvs) {
+      up_reqs.push_back(script.irecv(
+          step.partner, tags::tsqr_up(step.level), kk,
+          "up-sweep R, level " + std::to_string(step.level)));
+    }
+    int t_req = -1;
+    if (r != 0) {
+      t_req = script.irecv(plan.parent, tags::tsqr_down(plan.sent_level), kk,
+                           "down-sweep transform");
+    }
+
+    // Upward sweep: consume pre-posted receives in level order, then
+    // ship the combined R to the parent.
+    for (std::size_t i = 0; i < up_reqs.size(); ++i) {
+      script.wait(up_reqs[i],
+                  "combine level " + std::to_string(plan.recvs[i].level));
+    }
+    if (plan.sent_level >= 0) {
+      script.send(plan.parent, tags::tsqr_up(plan.sent_level), kk,
+                  "ship R up, level " + std::to_string(plan.sent_level));
+    }
+
+    // Downward sweep: take the transform, unwind in reverse level order.
+    if (r != 0) {
+      script.wait(t_req, "take down-sweep transform");
+    }
+    for (std::size_t i = plan.recvs.size(); i-- > 0;) {
+      script.send(plan.recvs[i].partner, tags::tsqr_down(plan.recvs[i].level),
+                  kk,
+                  "forward transform, level " +
+                      std::to_string(plan.recvs[i].level));
+    }
+  }
+  emit_bcast(s, 0, kk, cfg, "final R bcast");
+  return s;
+}
+
+Schedule script_apmos(int p, std::uint64_t w_bytes, std::uint64_t x_bytes,
+                      std::uint64_t lambda_bytes, const CollectiveConfig& cfg) {
+  Schedule s = make_schedule("apmos(p=" + std::to_string(p) + cfg.suffix() +
+                                 ")",
+                             p);
+  if (p > 1) {
+    // Stage 3: root pre-posts every W receive before its own Stage-1/2
+    // factorization and consumes them in completion order (wait_any, so
+    // one order-abstracted WaitAll); non-roots ship a buffered isend.
+    CommScript& root = s.ranks[0];
+    std::vector<int> w_reqs;
+    w_reqs.reserve(static_cast<std::size_t>(p - 1));
+    for (int src = 1; src < p; ++src) {
+      w_reqs.push_back(root.irecv(src, tags::apmos_w(), w_bytes,
+                                  "W block pre-post"));
+    }
+    root.wait_all(std::move(w_reqs), "assemble W (completion order)");
+    for (int r = 1; r < p; ++r) {
+      s.ranks[static_cast<std::size_t>(r)].send(0, tags::apmos_w(), w_bytes,
+                                                "ship W block");
+    }
+  }
+  // Stage 5: result broadcasts.
+  emit_bcast(s, 0, x_bytes, cfg, "X bcast");
+  emit_bcast(s, 0, lambda_bytes, cfg, "lambda bcast");
+  return s;
+}
+
+}  // namespace parsvd::verify

@@ -1,0 +1,79 @@
+#include "verify/selftest.hpp"
+
+#include <utility>
+
+#include "pmpi/tags.hpp"
+
+namespace parsvd::verify {
+
+namespace {
+
+namespace tags = pmpi::tags;
+
+/// A flat broadcast whose rank-2 receive was dropped: root's second
+/// send is never consumed.
+SeededDefect dropped_recv() {
+  Schedule s = make_schedule("bad:dropped-recv (flat bcast p=4)", 4);
+  for (int dst = 1; dst < 4; ++dst) {
+    s.ranks[0].send(dst, tags::kBcast, 64, "bcast copy");
+  }
+  s.ranks[1].recv(0, tags::kBcast, 64, "bcast");
+  // rank 2: receive dropped — the seeded defect.
+  s.ranks[3].recv(0, tags::kBcast, 64, "bcast");
+  return {std::move(s), Violation::Kind::UnmatchedSend};
+}
+
+/// A point-to-point exchange on a raw tag no tags.hpp band reserves.
+SeededDefect rogue_tag() {
+  Schedule s = make_schedule("bad:rogue-tag (raw tag 7)", 2);
+  s.ranks[0].send(1, 7, 8, "ad-hoc tag");
+  s.ranks[1].recv(0, 7, 8, "ad-hoc tag");
+  return {std::move(s), Violation::Kind::UnregisteredTag};
+}
+
+/// Both ranks receive before they send: match-complete, yet no
+/// execution can take a single step.
+SeededDefect cyclic_wait() {
+  Schedule s = make_schedule("bad:cyclic-wait (recv-before-send pair)", 2);
+  s.ranks[0].recv(1, tags::kUserBase, 8, "head-of-line receive");
+  s.ranks[0].send(1, tags::kUserBase, 8, "reply");
+  s.ranks[1].recv(0, tags::kUserBase, 8, "head-of-line receive");
+  s.ranks[1].send(0, tags::kUserBase, 8, "reply");
+  return {std::move(s), Violation::Kind::Deadlock};
+}
+
+/// Two outstanding irecvs on one (dst, src, tag) channel — the
+/// discipline Context::register_irecv enforces at runtime in debug
+/// builds, caught here statically.
+SeededDefect channel_overlap() {
+  Schedule s = make_schedule("bad:channel-overlap (double irecv)", 2);
+  s.ranks[0].send(1, tags::kUserBase, 8, "first");
+  s.ranks[0].send(1, tags::kUserBase, 8, "second");
+  const int a = s.ranks[1].irecv(0, tags::kUserBase, 8, "first post");
+  const int b = s.ranks[1].irecv(0, tags::kUserBase, 8, "overlapping post");
+  s.ranks[1].wait(a);
+  s.ranks[1].wait(b);
+  return {std::move(s), Violation::Kind::ChannelOverlap};
+}
+
+/// Sender and receiver disagree on the payload size.
+SeededDefect byte_mismatch() {
+  Schedule s = make_schedule("bad:byte-mismatch (16 B vs 8 B)", 2);
+  s.ranks[0].send(1, tags::kBcast, 16, "sender's framing");
+  s.ranks[1].recv(0, tags::kBcast, 8, "receiver's framing");
+  return {std::move(s), Violation::Kind::ByteMismatch};
+}
+
+}  // namespace
+
+std::vector<SeededDefect> seeded_defects() {
+  std::vector<SeededDefect> out;
+  out.push_back(dropped_recv());
+  out.push_back(rogue_tag());
+  out.push_back(cyclic_wait());
+  out.push_back(channel_overlap());
+  out.push_back(byte_mismatch());
+  return out;
+}
+
+}  // namespace parsvd::verify

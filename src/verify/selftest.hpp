@@ -1,0 +1,25 @@
+// Seeded-defect schedules: hand-built choreographies that each violate
+// exactly one checker property. They are the checker's own regression
+// surface — a sound checker must flag every one of them with the
+// expected violation kind and a usable counterexample trace. Shared by
+// `schedule_check --selftest` and the negative tests in
+// tests/test_verify.cpp.
+#pragma once
+
+#include <vector>
+
+#include "verify/checker.hpp"
+#include "verify/comm_script.hpp"
+
+namespace parsvd::verify {
+
+struct SeededDefect {
+  Schedule schedule;
+  Violation::Kind expected;
+};
+
+/// One schedule per detectable defect class: dropped receive, rogue tag,
+/// cyclic wait, overlapping irecv channels, byte-count disagreement.
+std::vector<SeededDefect> seeded_defects();
+
+}  // namespace parsvd::verify

@@ -1,0 +1,10 @@
+// Lint fixture — NOT compiled. The wall-clock call must produce a
+// [bench-clock] finding: bench JSON must be bit-reproducible.
+#include <ctime>
+
+const char* fixture() {
+  static char stamp[64];
+  const std::time_t now = std::time(nullptr);
+  std::strftime(stamp, sizeof stamp, "%Y-%m-%d", std::gmtime(&now));
+  return stamp;
+}

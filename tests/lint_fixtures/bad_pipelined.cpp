@@ -1,0 +1,10 @@
+// Lint fixture — NOT compiled. The blocking receive inside the
+// parsvd-pipelined region must produce a [pipelined] finding.
+#include "pmpi/comm.hpp"
+#include "pmpi/tags.hpp"
+
+void fixture(parsvd::pmpi::Communicator& comm) {
+  // parsvd-pipelined begin (receives must be pre-posted, not blocking)
+  (void)comm.recv_matrix(0, parsvd::pmpi::tags::kUserBase);
+  // parsvd-pipelined end
+}

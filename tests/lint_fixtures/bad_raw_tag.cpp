@@ -1,0 +1,10 @@
+// Lint fixture — NOT compiled. Feeds parsvd_lint.py's negative test:
+// the raw integer tag literals below must each produce a [raw-tag]
+// finding (wire tags must come from src/pmpi/tags.hpp).
+#include "pmpi/comm.hpp"
+
+void fixture(parsvd::pmpi::Communicator& comm, const parsvd::Matrix& m) {
+  comm.send_matrix(m, 1, 42);         // raw tag literal
+  (void)comm.recv_matrix(0, 42);      // raw tag literal
+  (void)comm.irecv(0, 0x2a);          // raw tag literal, hex
+}

@@ -389,10 +389,10 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(3, 5, 6, 7, 12),
                        ::testing::Values(CollectiveAlgo::Flat,
                                          CollectiveAlgo::Tree)),
-    [](const ::testing::TestParamInfo<CollectiveSweep::ParamType>& info) {
-      return "p" + std::to_string(std::get<0>(info.param)) +
-             (std::get<1>(info.param) == CollectiveAlgo::Flat ? "Flat"
-                                                              : "Tree");
+    [](const ::testing::TestParamInfo<CollectiveSweep::ParamType>& param) {
+      return "p" + std::to_string(std::get<0>(param.param)) +
+             (std::get<1>(param.param) == CollectiveAlgo::Flat ? "Flat"
+                                                               : "Tree");
     });
 
 // Auto policy: small jobs keep the flat topologies, big jobs switch.

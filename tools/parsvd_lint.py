@@ -1,0 +1,278 @@
+#!/usr/bin/env python3
+"""parsvd_lint: project-specific invariants no generic linter knows.
+
+Rules
+-----
+  raw-tag        An integer literal passed in the tag position of a pmpi
+                 messaging call. Every wire tag must come from the
+                 src/pmpi/tags.hpp registry (named constant or band
+                 helper) so protocols cannot collide by picking the same
+                 ad-hoc number. Scope: src/, bench/, examples/.
+
+  pipelined      A blocking communication call inside a region marked
+                 `// parsvd-pipelined begin` ... `// parsvd-pipelined
+                 end`. Those regions exist to overlap pre-posted
+                 receives with local compute; a blocking call there
+                 silently serializes the overlap again. Scope: src/.
+
+  env-registry   A PARSVD_* environment variable read through
+                 support/env (or std::getenv) that is missing from the
+                 README.md registry table. Undocumented knobs rot.
+                 Scope: src/, bench/, examples/ against README.md.
+
+  bench-clock    Wall-clock APIs (std::time, gmtime, localtime,
+                 strftime, system_clock) in bench sources. Bench JSON
+                 must be bit-reproducible run-to-run so CI can diff it;
+                 timestamps and other wall-clock artifacts break that.
+                 Timing measurements use the steady clock in
+                 support/timer. Scope: bench/.
+
+Usage
+-----
+  parsvd_lint.py [--repo ROOT]            lint the whole repository
+  parsvd_lint.py [--repo ROOT] FILE...    lint specific files (all rules
+                                          apply to every listed file;
+                                          used by the fixture tests)
+
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+# ------------------------------------------------------------ rule: raw-tag
+
+# Messaging calls that take a wire tag, with the 0-based index of the
+# tag argument. Context methods post(src, dest, tag, payload) and
+# wait(dest, src, tag) both carry the tag third; zero- or two-argument
+# wait() overloads (condition variables, requests) never reach index 2.
+TAG_ARG_INDEX = {
+    "send_matrix": 2,
+    "isend_matrix": 2,
+    "recv_matrix": 1,
+    "irecv": 1,
+    "send_bytes": 2,
+    "recv_bytes": 1,
+    "post": 2,
+    "wait": 2,
+}
+
+INT_LITERAL = re.compile(r"^[+-]?(0[xX][0-9a-fA-F]+|\d+)$")
+CALL_NAME = re.compile(r"\b(" + "|".join(TAG_ARG_INDEX) + r")\s*\(")
+
+
+def strip_comments(text: str) -> str:
+    """Blank out // and /* */ comments and string literals, preserving
+    line structure so finding line numbers stay correct."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "/" and i + 1 < n and text[i + 1] == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif ch == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            out.append(re.sub(r"[^\n]", " ", text[i:j]))
+            i = j
+        elif ch in "\"'":
+            quote = ch
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(quote + " " * (j - i - 2) + (quote if j - i > 1 else ""))
+            i = j
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def split_args(text: str, open_paren: int):
+    """Top-level comma split of the argument list opening at
+    `open_paren`; returns (args, end_index) or None if unbalanced."""
+    depth = 0
+    args, start = [], open_paren + 1
+    for i in range(open_paren, len(text)):
+        ch = text[i]
+        if ch in "([{":
+            depth += 1
+        elif ch in ")]}":
+            depth -= 1
+            if depth == 0:
+                args.append(text[start:i])
+                return args, i
+        elif ch == "," and depth == 1:
+            args.append(text[start:i])
+            start = i + 1
+    return None
+
+
+def rule_raw_tag(path: pathlib.Path, text: str, findings: list) -> None:
+    if path.name == "tags.hpp":
+        return  # the registry itself
+    clean = strip_comments(text)
+    for m in CALL_NAME.finditer(clean):
+        name = m.group(1)
+        parsed = split_args(clean, clean.index("(", m.end() - 1))
+        if parsed is None:
+            continue
+        args, _ = parsed
+        idx = TAG_ARG_INDEX[name]
+        if idx >= len(args):
+            continue
+        tag = args[idx].strip()
+        if INT_LITERAL.match(tag):
+            line = clean.count("\n", 0, m.start()) + 1
+            findings.append(
+                (path, line, "raw-tag",
+                 f"integer literal '{tag}' in the tag position of {name}(); "
+                 "use a constant from src/pmpi/tags.hpp"))
+
+
+# ---------------------------------------------------------- rule: pipelined
+
+BLOCKING_CALLS = re.compile(
+    r"\b(recv_matrix|recv_bytes|gather_matrices|gatherv|gather_bytes_ft|"
+    r"gather_matrices_ft|scatter_rows|reduce|allreduce|allreduce_scalar|"
+    r"allreduce_sum_ft|bcast|bcast_matrix|bcast_double|bcast_index|"
+    r"bcast_bytes_ft|bcast_matrix_ft|bcast_doubles_ft|barrier|wait|"
+    r"wait_all|wait_any|allgather_double|allgather_index)\s*\(")
+
+PIPELINE_BEGIN = re.compile(r"parsvd-pipelined\s+begin")
+PIPELINE_END = re.compile(r"parsvd-pipelined\s+end")
+
+
+def rule_pipelined(path: pathlib.Path, text: str, findings: list) -> None:
+    clean_lines = strip_comments(text).splitlines()
+    inside = False
+    for lineno, (raw, clean) in enumerate(
+            zip(text.splitlines(), clean_lines), start=1):
+        if PIPELINE_BEGIN.search(raw):
+            inside = True
+            continue
+        if PIPELINE_END.search(raw):
+            inside = False
+            continue
+        if not inside:
+            continue
+        m = BLOCKING_CALLS.search(clean)
+        if m:
+            findings.append(
+                (path, lineno, "pipelined",
+                 f"blocking call {m.group(1)}() inside a parsvd-pipelined "
+                 "region; only posts (irecv/isend) and local compute may "
+                 "appear between begin/end"))
+
+
+# ------------------------------------------------------- rule: env-registry
+
+ENV_READ = re.compile(
+    r'(?:env::get_\w+|std::getenv|\bgetenv)\s*\(\s*"(PARSVD_[A-Z0-9_]+)"')
+ENV_TOKEN = re.compile(r"PARSVD_[A-Z0-9_]+")
+
+
+def rule_env_registry(paths, readme: pathlib.Path, findings: list) -> None:
+    documented = set(ENV_TOKEN.findall(
+        readme.read_text(encoding="utf-8"))) if readme.exists() else set()
+    for path in paths:
+        text = path.read_text(encoding="utf-8", errors="replace")
+        for m in ENV_READ.finditer(text):
+            var = m.group(1)
+            if var in documented:
+                continue
+            line = text.count("\n", 0, m.start()) + 1
+            findings.append(
+                (path, line, "env-registry",
+                 f"{var} is read here but missing from the README.md "
+                 "environment-variable registry"))
+
+
+# -------------------------------------------------------- rule: bench-clock
+
+WALL_CLOCK = re.compile(
+    r"\b(std::time\s*\(|std::gmtime|std::localtime|std::strftime|"
+    r"\bgmtime\s*\(|\blocaltime\s*\(|\bstrftime\s*\(|system_clock)")
+
+
+def rule_bench_clock(path: pathlib.Path, text: str, findings: list) -> None:
+    clean = strip_comments(text)
+    for lineno, line in enumerate(clean.splitlines(), start=1):
+        m = WALL_CLOCK.search(line)
+        if m:
+            findings.append(
+                (path, lineno, "bench-clock",
+                 f"wall-clock API '{m.group(1).strip()}' in a bench source; "
+                 "bench JSON must be bit-reproducible (use the steady "
+                 "clock in support/timer for measurements)"))
+
+
+# ------------------------------------------------------------------ driver
+
+SOURCE_SUFFIXES = {".cpp", ".hpp", ".cc", ".h"}
+
+
+def collect(root: pathlib.Path, subdir: str):
+    base = root / subdir
+    if not base.is_dir():
+        return []
+    return sorted(p for p in base.rglob("*")
+                  if p.suffix in SOURCE_SUFFIXES and p.is_file())
+
+
+def main(argv) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repo", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve().parent.parent)
+    parser.add_argument("files", nargs="*", type=pathlib.Path,
+                        help="lint only these files, all rules")
+    args = parser.parse_args(argv)
+    root = args.repo.resolve()
+    readme = root / "README.md"
+
+    findings: list = []
+    if args.files:
+        # Explicit file mode (fixtures): every rule applies to each file.
+        for path in args.files:
+            if not path.is_file():
+                print(f"parsvd_lint: no such file: {path}", file=sys.stderr)
+                return 2
+            text = path.read_text(encoding="utf-8", errors="replace")
+            rule_raw_tag(path, text, findings)
+            rule_pipelined(path, text, findings)
+            rule_bench_clock(path, text, findings)
+        rule_env_registry(args.files, readme, findings)
+    else:
+        src = collect(root, "src")
+        bench = collect(root, "bench")
+        examples = collect(root, "examples")
+        for path in src + bench + examples:
+            text = path.read_text(encoding="utf-8", errors="replace")
+            rule_raw_tag(path, text, findings)
+        for path in src:
+            rule_pipelined(
+                path, path.read_text(encoding="utf-8", errors="replace"),
+                findings)
+        for path in bench:
+            rule_bench_clock(
+                path, path.read_text(encoding="utf-8", errors="replace"),
+                findings)
+        rule_env_registry(src + bench + examples, readme, findings)
+
+    for path, line, rule, message in findings:
+        print(f"{path}:{line}: [{rule}] {message}")
+    if findings:
+        print(f"parsvd_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("parsvd_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
