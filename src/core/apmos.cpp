@@ -7,6 +7,7 @@
 
 #include "core/randomized.hpp"
 #include "linalg/blas.hpp"
+#include "obs/trace.hpp"
 #include "pmpi/request.hpp"
 #include "pmpi/tags.hpp"
 
@@ -29,6 +30,7 @@ ApmosResult apmos_svd(pmpi::Communicator& comm, const Matrix& a_local,
                       const ApmosOptions& opts, Rng* rng) {
   opts.validate();
   PARSVD_REQUIRE(!a_local.empty(), "apmos of an empty local block");
+  PARSVD_TRACE_SCOPE("apmos.svd");
 
   // The Stage-3 receive schedule is static — root takes one W block
   // from every other rank — so root posts the whole gather BEFORE its
@@ -45,16 +47,21 @@ ApmosResult apmos_svd(pmpi::Communicator& comm, const Matrix& a_local,
   }
 
   // Stages 1-2: local right vectors scaled by singular values.
-  auto [vlocal, slocal] =
-      generate_right_vectors(a_local, opts.r1, opts.method, opts.eigh_method);
-  Matrix wlocal = vlocal;  // n x k1
-  for (Index j = 0; j < wlocal.cols(); ++j) {
-    scal(slocal[j], wlocal.col_span(j));
+  Matrix wlocal;  // n x k1
+  {
+    PARSVD_TRACE_SCOPE("apmos.stage12.local_svd");
+    auto [vlocal, slocal] =
+        generate_right_vectors(a_local, opts.r1, opts.method, opts.eigh_method);
+    wlocal = std::move(vlocal);
+    for (Index j = 0; j < wlocal.cols(); ++j) {
+      scal(slocal[j], wlocal.col_span(j));
+    }
   }
   // parsvd-pipelined end
 
   // Root SVD of the assembled W with truncation to r2 (stages 4-5).
   const auto root_svd = [&](const Matrix& w) {
+    PARSVD_TRACE_SCOPE("apmos.stage45.root_svd");
     SvdResult f;
     if (opts.low_rank) {
       RandomizedOptions ropts = opts.randomized;
@@ -137,9 +144,12 @@ ApmosResult apmos_svd(pmpi::Communicator& comm, const Matrix& a_local,
     if (comm.is_root()) {
       std::vector<Matrix> blocks(static_cast<std::size_t>(comm.size()));
       blocks[0] = std::move(wlocal);
-      for (std::size_t n = 0; n < w_reqs.size(); ++n) {
-        const std::size_t which = pmpi::wait_any(w_reqs);
-        blocks[which + 1] = w_reqs[which].take_matrix();
+      {
+        PARSVD_TRACE_SCOPE("apmos.stage3.gather");
+        for (std::size_t n = 0; n < w_reqs.size(); ++n) {
+          const std::size_t which = pmpi::wait_any(w_reqs);
+          blocks[which + 1] = w_reqs[which].take_matrix();
+        }
       }
       SvdResult f = root_svd(hcat(blocks));
       x = std::move(f.u);
@@ -158,6 +168,7 @@ ApmosResult apmos_svd(pmpi::Communicator& comm, const Matrix& a_local,
 
   // Stage 6: lift the global right-space modes through the local block:
   // Ũ^i = A^i X̃ diag(1/Λ̃).
+  PARSVD_TRACE_SCOPE("apmos.stage6.lift");
   ApmosResult out;
   out.u_local = matmul(a_local, x);
   out.s = lambda;

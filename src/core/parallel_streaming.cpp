@@ -9,6 +9,7 @@
 
 #include "core/randomized.hpp"
 #include "linalg/blas.hpp"
+#include "obs/trace.hpp"
 
 namespace parsvd {
 
@@ -23,6 +24,7 @@ ParallelStreamingSVD::ParallelStreamingSVD(pmpi::Communicator& comm,
 void ParallelStreamingSVD::initialize(const Matrix& batch) {
   PARSVD_REQUIRE(!initialized_, "initialize() called twice");
   PARSVD_REQUIRE(!batch.empty(), "empty initial batch");
+  PARSVD_TRACE_SCOPE("pssvd.initialize");
   num_rows_ = batch.rows();
 
   // Row layout of the distributed mode matrix (needed by gather_modes
@@ -68,6 +70,7 @@ void ParallelStreamingSVD::initialize(const Matrix& batch) {
 
 void ParallelStreamingSVD::root_svd_and_broadcast(const Matrix& r,
                                                   Matrix& u_small, Vector& s) {
+  PARSVD_TRACE_SCOPE("pssvd.root_svd");
   const Index keep = std::min(opts_.num_modes, std::min(r.rows(), r.cols()));
   if (comm_.is_root()) {
     SvdResult f;
@@ -102,6 +105,7 @@ void ParallelStreamingSVD::incorporate_data(const Matrix& batch) {
   PARSVD_REQUIRE(batch.rows() == num_rows_,
                  "batch row count differs from the initialized problem");
   PARSVD_REQUIRE(batch.cols() > 0, "empty streaming batch");
+  PARSVD_TRACE_SCOPE("pssvd.incorporate");
   ++iteration_;
   snapshots_seen_ += batch.cols();
 
@@ -153,6 +157,7 @@ void ParallelStreamingSVD::incorporate_data(const Matrix& batch) {
 }
 
 void ParallelStreamingSVD::gather_modes() {
+  PARSVD_TRACE_SCOPE("pssvd.gather_modes");
   if (opts_.fault_tolerant) {
     std::vector<std::optional<Matrix>> blocks =
         comm_.gather_matrices_ft(u_local_, 0);

@@ -5,6 +5,7 @@
 
 #include "linalg/blas.hpp"
 #include "linalg/qr.hpp"
+#include "obs/trace.hpp"
 #include "pmpi/request.hpp"
 #include "pmpi/tags.hpp"
 #include "pmpi/topology.hpp"
@@ -20,10 +21,14 @@ using pmpi::tags::tsqr_down;
 using pmpi::tags::tsqr_up;
 
 TsqrResult tsqr_direct(pmpi::Communicator& comm, const Matrix& a_local) {
+  PARSVD_TRACE_SCOPE("tsqr.direct");
   const int p = comm.size();
 
   // Stage 1: local thin QR with the deterministic sign convention.
-  QrResult local = qr_thin(a_local);
+  QrResult local = [&] {
+    PARSVD_TRACE_SCOPE("tsqr.factor_panel");
+    return qr_thin(a_local);
+  }();
   if (p == 1) {
     return {std::move(local.q), std::move(local.r), {}};
   }
@@ -62,9 +67,13 @@ TsqrResult tsqr_direct(pmpi::Communicator& comm, const Matrix& a_local) {
 // Fault-tolerant direct TSQR: dead ranks' R factors are excluded from
 // the stack and the factorization completes on the survivors' rows.
 TsqrResult tsqr_direct_ft(pmpi::Communicator& comm, const Matrix& a_local) {
+  PARSVD_TRACE_SCOPE("tsqr.direct_ft");
   const int p = comm.size();
 
-  QrResult local = qr_thin(a_local);
+  QrResult local = [&] {
+    PARSVD_TRACE_SCOPE("tsqr.factor_panel");
+    return qr_thin(a_local);
+  }();
   if (p == 1) {
     return {std::move(local.q), std::move(local.r), {}};
   }
@@ -118,6 +127,7 @@ TsqrResult tsqr_direct_ft(pmpi::Communicator& comm, const Matrix& a_local) {
 }
 
 TsqrResult tsqr_tree(pmpi::Communicator& comm, const Matrix& a_local) {
+  PARSVD_TRACE_SCOPE("tsqr.tree");
   const int p = comm.size();
   const int rank = comm.rank();
 
@@ -151,7 +161,10 @@ TsqrResult tsqr_tree(pmpi::Communicator& comm, const Matrix& a_local) {
     t_req = comm.irecv(plan.parent, tsqr_down(plan.sent_level));
   }
 
-  QrResult local = qr_thin(a_local);
+  QrResult local = [&] {
+    PARSVD_TRACE_SCOPE("tsqr.factor_panel");
+    return qr_thin(a_local);
+  }();
   // parsvd-pipelined end
 
   // Upward sweep: pairwise R combination, consuming the pre-posted
@@ -166,41 +179,49 @@ TsqrResult tsqr_tree(pmpi::Communicator& comm, const Matrix& a_local) {
   std::vector<LevelRecord> records;
   records.reserve(plan.recvs.size());
   Matrix r_mine = local.r;
-  for (std::size_t i = 0; i < plan.recvs.size(); ++i) {
-    up_reqs[i].wait();
-    Matrix r_partner = up_reqs[i].take_matrix();
-    const Index rows_mine = r_mine.rows();
-    const Index rows_partner = r_partner.rows();
-    QrResult combined = qr_thin(vcat(r_mine, r_partner));
-    records.push_back(LevelRecord{rows_mine, rows_partner,
-                                  std::move(combined.q), plan.recvs[i].partner,
-                                  plan.recvs[i].level});
-    r_mine = std::move(combined.r);
-  }
-  if (plan.sent_level >= 0) {
-    comm.send_matrix(r_mine, plan.parent, tsqr_up(plan.sent_level));
+  {
+    PARSVD_TRACE_SCOPE("tsqr.up_sweep");
+    for (std::size_t i = 0; i < plan.recvs.size(); ++i) {
+      up_reqs[i].wait();
+      Matrix r_partner = up_reqs[i].take_matrix();
+      const Index rows_mine = r_mine.rows();
+      const Index rows_partner = r_partner.rows();
+      QrResult combined = qr_thin(vcat(r_mine, r_partner));
+      records.push_back(LevelRecord{rows_mine, rows_partner,
+                                    std::move(combined.q),
+                                    plan.recvs[i].partner,
+                                    plan.recvs[i].level});
+      r_mine = std::move(combined.r);
+    }
+    if (plan.sent_level >= 0) {
+      comm.send_matrix(r_mine, plan.parent, tsqr_up(plan.sent_level));
+    }
   }
 
   // Downward sweep: unwind accumulated transforms. The final R lives at
   // rank 0; each rank's transform T satisfies Q_slice = Q_local · T.
   Matrix r_final;
   Matrix t;
-  if (rank == 0) {
-    r_final = r_mine;
-    t = Matrix::identity(r_mine.rows());
-  } else {
-    // Our transform arrives from the partner we sent our R to.
-    t_req.wait();
-    t = t_req.take_matrix();
+  {
+    PARSVD_TRACE_SCOPE("tsqr.down_sweep");
+    if (rank == 0) {
+      r_final = r_mine;
+      t = Matrix::identity(r_mine.rows());
+    } else {
+      // Our transform arrives from the partner we sent our R to.
+      t_req.wait();
+      t = t_req.take_matrix();
+    }
+    for (auto it = records.rbegin(); it != records.rend(); ++it) {
+      const Matrix q_top =
+          it->q_comb.block(0, 0, it->rows_mine, it->q_comb.cols());
+      const Matrix q_bot = it->q_comb.block(it->rows_mine, 0, it->rows_partner,
+                                            it->q_comb.cols());
+      comm.send_matrix(matmul(q_bot, t), it->partner, tsqr_down(it->level));
+      t = matmul(q_top, t);
+    }
+    comm.bcast_matrix(r_final, 0);
   }
-  for (auto it = records.rbegin(); it != records.rend(); ++it) {
-    const Matrix q_top = it->q_comb.block(0, 0, it->rows_mine, it->q_comb.cols());
-    const Matrix q_bot = it->q_comb.block(it->rows_mine, 0, it->rows_partner,
-                                          it->q_comb.cols());
-    comm.send_matrix(matmul(q_bot, t), it->partner, tsqr_down(it->level));
-    t = matmul(q_top, t);
-  }
-  comm.bcast_matrix(r_final, 0);
   return {matmul(local.q, t), std::move(r_final), {}};
 }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/env.hpp"
 #include "support/thread_pool.hpp"
 
@@ -388,6 +390,13 @@ void gemm(Trans trans_a, Trans trans_b, double alpha, const Matrix& a,
   PARSVD_REQUIRE(!c.aliases(a) && !c.aliases(b),
                  "gemm: C must not alias A or B");
 
+  PARSVD_TRACE_SCOPE("linalg.gemm");
+  static obs::Counter& calls = obs::Registry::global().counter("linalg.gemm.calls");
+  static obs::Counter& flops = obs::Registry::global().counter("linalg.gemm.flops");
+  calls.add(1);
+  flops.add(2ull * static_cast<std::uint64_t>(m) * static_cast<std::uint64_t>(n) *
+            static_cast<std::uint64_t>(k));
+
   if (beta != 1.0) {
     if (beta == 0.0) {
       c.fill(0.0);
@@ -414,6 +423,10 @@ Matrix gram(const Matrix& a) {
   const Index n = a.cols();
   Matrix g(n, n);
   if (n == 0) return g;
+  PARSVD_TRACE_SCOPE("linalg.gram");
+  static obs::Counter& flops = obs::Registry::global().counter("linalg.gemm.flops");
+  flops.add(static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n) *
+            static_cast<std::uint64_t>(m));
 
   // Column-block width for the upper-triangle sweep: block J computes
   // G(0:j1, J) = Aᵀ(:, 0:j1)ᵀ-style panel product through the packed

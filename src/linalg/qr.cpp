@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "linalg/blas.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/env.hpp"
 
 namespace parsvd {
@@ -86,7 +88,17 @@ HouseholderQr::HouseholderQr(const Matrix& a, Index block) : qr_(a) {
   const Index m = qr_.rows();
   const Index n = qr_.cols();
   PARSVD_REQUIRE(m > 0 && n > 0, "QR of an empty matrix");
+  PARSVD_TRACE_SCOPE("linalg.qr.factor");
+  static obs::Counter& calls = obs::Registry::global().counter("linalg.qr.calls");
+  static obs::Counter& flops = obs::Registry::global().counter("linalg.qr.flops");
+  calls.add(1);
   const Index k = std::min(m, n);
+  // Householder QR cost model: 2mnk - 2k^3/3 (k = min(m, n)); since
+  // k <= m and k <= n the subtraction can't wrap the unsigned counter.
+  flops.add(2ull * static_cast<std::uint64_t>(m) * static_cast<std::uint64_t>(n) *
+                static_cast<std::uint64_t>(k) -
+            2ull * static_cast<std::uint64_t>(k) * static_cast<std::uint64_t>(k) *
+                static_cast<std::uint64_t>(k) / 3);
   tau_.assign(static_cast<std::size_t>(k), 0.0);
   block_ = (block > 0) ? block : default_qr_block();
   if (block_ <= 1) {

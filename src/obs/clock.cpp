@@ -1,0 +1,56 @@
+#include "obs/clock.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+namespace parsvd::obs {
+namespace {
+
+SteadyClock& steady_instance() {
+  static SteadyClock instance;
+  return instance;
+}
+
+std::atomic<Clock*>& clock_slot() {
+  static std::atomic<Clock*> slot{&steady_instance()};
+  return slot;
+}
+
+bool wall_anchor_enabled() {
+  const char* v = std::getenv("PARSVD_TRACE_WALL_ANCHOR");
+  if (v == nullptr) return false;
+  return std::strcmp(v, "1") == 0 || std::strcmp(v, "true") == 0 ||
+         std::strcmp(v, "on") == 0 || std::strcmp(v, "yes") == 0;
+}
+
+}  // namespace
+
+std::int64_t SteadyClock::now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Clock& clock() { return *clock_slot().load(std::memory_order_acquire); }
+
+void set_clock(Clock* replacement) {
+  clock_slot().store(replacement != nullptr ? replacement : &steady_instance(),
+                     std::memory_order_release);
+}
+
+std::int64_t wall_anchor_ns() {
+  // The ONLY sanctioned wall-clock read in the tree: an opt-in epoch
+  // anchor so a human can line a trace up with log files. Off by
+  // default, so trace JSON stays bit-reproducible.
+  static const std::int64_t anchor = [] {
+    if (!wall_anchor_enabled()) return std::int64_t{0};
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               // parsvd-lint: allow-wall-clock (the sanctioned anchor read)
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+  }();
+  return anchor;
+}
+
+}  // namespace parsvd::obs

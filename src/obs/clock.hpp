@@ -1,0 +1,57 @@
+// Pluggable time source for the observability layer.
+//
+// Every timestamp the tracer or the logger emits flows through clock():
+// production uses the monotonic steady clock (never the wall clock, so
+// trace JSON stays bit-reproducible and composes with the project's
+// wall-clock lint rule), and tests inject a FakeClock to make two runs
+// of the same workload produce byte-identical traces.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace parsvd::obs {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Nanoseconds on this clock's (arbitrary-epoch) timeline.
+  virtual std::int64_t now_ns() = 0;
+};
+
+/// std::chrono::steady_clock; the production default.
+class SteadyClock final : public Clock {
+ public:
+  std::int64_t now_ns() override;
+};
+
+/// Manually advanced clock for deterministic tests. All operations are
+/// thread-safe; the clock never moves on its own.
+class FakeClock final : public Clock {
+ public:
+  explicit FakeClock(std::int64_t start_ns = 0) : now_(start_ns) {}
+  std::int64_t now_ns() override {
+    return now_.load(std::memory_order_relaxed);
+  }
+  void set_ns(std::int64_t ns) { now_.store(ns, std::memory_order_relaxed); }
+  void advance_ns(std::int64_t ns) {
+    now_.fetch_add(ns, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> now_;
+};
+
+/// The process-wide clock every obs timestamp is read from.
+Clock& clock();
+
+/// Install a replacement clock (nullptr restores the steady clock). The
+/// pointer must outlive all tracing; intended for test setup only.
+void set_clock(Clock* replacement);
+
+/// One-shot wall-clock anchor for trace metadata: Unix nanoseconds at
+/// first call, or 0 when PARSVD_TRACE_WALL_ANCHOR is off (the default,
+/// keeping traces deterministic).
+std::int64_t wall_anchor_ns();
+
+}  // namespace parsvd::obs

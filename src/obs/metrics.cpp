@@ -1,0 +1,97 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace parsvd::obs {
+
+void Histogram::record(std::uint64_t sample) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(sample, std::memory_order_relaxed);
+  buckets_[static_cast<std::size_t>(std::bit_width(sample))].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+void Histogram::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.try_emplace(std::string(name)).first->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return gauges_.try_emplace(std::string(name)).first->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return histograms_.try_emplace(std::string(name)).first->second;
+}
+
+std::vector<Registry::Sample> Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Sample> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    out.push_back({name, 'c', static_cast<std::int64_t>(c.value()), 0, 0});
+  }
+  for (const auto& [name, g] : gauges_) {
+    out.push_back({name, 'g', g.value(), 0, g.max_value()});
+  }
+  for (const auto& [name, h] : histograms_) {
+    out.push_back(
+        {name, 'h', static_cast<std::int64_t>(h.count()), h.sum(), 0});
+  }
+  std::sort(out.begin(), out.end(), [](const Sample& a, const Sample& b) {
+    return a.name != b.name ? a.name < b.name : a.kind < b.kind;
+  });
+  return out;
+}
+
+std::string Registry::format_table() const {
+  std::string table;
+  char line[160];
+  for (const Sample& s : snapshot()) {
+    int n = 0;
+    switch (s.kind) {
+      case 'c':
+        n = std::snprintf(line, sizeof(line), "%-40s counter %20lld\n",
+                          s.name.c_str(), static_cast<long long>(s.value));
+        break;
+      case 'g':
+        n = std::snprintf(line, sizeof(line),
+                          "%-40s gauge   %20lld (max %lld)\n", s.name.c_str(),
+                          static_cast<long long>(s.value),
+                          static_cast<long long>(s.max_value));
+        break;
+      default:
+        n = std::snprintf(line, sizeof(line),
+                          "%-40s histo   %20lld (sum %llu)\n", s.name.c_str(),
+                          static_cast<long long>(s.value),
+                          static_cast<unsigned long long>(s.sum));
+        break;
+    }
+    if (n > 0) table.append(line, static_cast<std::size_t>(n));
+  }
+  return table;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, g] : gauges_) g.reset();
+  for (auto& [name, h] : histograms_) h.reset();
+}
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+}  // namespace parsvd::obs

@@ -1,0 +1,120 @@
+// Typed named metrics: counters, gauges and log2-bucketed histograms.
+//
+// A Registry maps stable dotted names ("comm.bytes", "pool.queue_depth")
+// to metric objects with stable addresses: look the metric up once, keep
+// the reference, and every subsequent update is a single relaxed atomic
+// operation — cheap enough for the messaging and kernel hot paths.
+//
+// Naming convention (DESIGN §9): lowercase `<layer>.<component>.<what>`,
+// with a unit suffix where the name alone is ambiguous (`_bytes`, `_ms`).
+// Per-rank variants append `.rank<N>`.
+//
+// Two scopes exist: Registry::global() for process-wide series (logger,
+// thread pool, kernels, streaming executor) and one Registry per
+// pmpi::Context for communication series, so concurrent jobs never mix
+// their byte counts.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parsvd::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  void sub(std::int64_t n) { v_.fetch_sub(n, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  /// Retain the largest value ever set()/observed via this call.
+  void track_max(std::int64_t v) {
+    std::int64_t cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::int64_t max_value() const { return max_.load(std::memory_order_relaxed); }
+  void reset() {
+    v_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
+/// Power-of-two bucketed histogram of unsigned samples: bucket b counts
+/// samples whose bit width is b (0, 1, 2-3, 4-7, ...). Fixed storage,
+/// lock-free recording.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 65;  // bit_width of uint64 is 0..64
+
+  void record(std::uint64_t sample);
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket(int b) const {
+    return buckets_[static_cast<std::size_t>(b)].load(
+        std::memory_order_relaxed);
+  }
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+};
+
+class Registry {
+ public:
+  /// Find-or-create. The returned reference is stable for the registry's
+  /// lifetime; hot paths call this once and cache it.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  struct Sample {
+    std::string name;
+    char kind;  // 'c'ounter, 'g'auge, 'h'istogram
+    std::int64_t value = 0;       // counter/gauge value, histogram count
+    std::uint64_t sum = 0;        // histogram only
+    std::int64_t max_value = 0;   // gauge only
+  };
+  /// Name-sorted snapshot of every metric (counters first within a name
+  /// collision, then gauges, then histograms).
+  std::vector<Sample> snapshot() const;
+
+  /// Human-readable fixed-width table of snapshot(), one metric per line.
+  std::string format_table() const;
+
+  /// Zero every metric (objects stay registered; cached refs stay valid).
+  void reset();
+
+  /// Process-wide registry for non-communicator series.
+  static Registry& global();
+
+ private:
+  mutable std::mutex mu_;
+  // Node-based maps: element addresses survive future insertions.
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace parsvd::obs

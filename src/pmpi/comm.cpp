@@ -20,7 +20,18 @@ Context::Context(int size)
   PARSVD_REQUIRE(size >= 1, "communicator size must be >= 1");
   boxes_.reserve(static_cast<std::size_t>(size));
   for (int i = 0; i < size; ++i) boxes_.push_back(std::make_unique<Mailbox>());
-  bytes_by_rank_.assign(static_cast<std::size_t>(size), 0);
+  messages_total_ = &metrics_.counter("comm.messages");
+  bytes_total_ = &metrics_.counter("comm.bytes");
+  bytes_by_rank_.reserve(static_cast<std::size_t>(size));
+  for (int r = 0; r < size; ++r) {
+    bytes_by_rank_.push_back(
+        &metrics_.counter("comm.rank" + std::to_string(r) + ".bytes"));
+  }
+  payload_hist_ = &metrics_.histogram("comm.payload_bytes");
+  retransmits_ = &metrics_.counter("comm.retransmits");
+  faults_injected_ = &metrics_.counter("comm.faults_injected");
+  timeouts_ = &metrics_.counter("comm.timeouts");
+  timeout_retries_ = &metrics_.counter("comm.timeout_retries");
   wait_timeout_ = std::chrono::milliseconds(
       std::max<std::int64_t>(0, env::get_int("PARSVD_FAULT_TIMEOUT_MS", 0)));
   max_retries_ = static_cast<int>(
@@ -69,6 +80,7 @@ void Context::ensure_watchdog() {
 }
 
 void Context::watchdog_loop() {
+  obs::set_thread_identity(-1, 90, "watchdog");
   // Low-frequency broadcaster backing bounded wait() deadlines: sleeping
   // receivers use plain (untimed) cv waits and rely on these periodic
   // wakes to notice an expired deadline. The tick bounds how late a
@@ -115,7 +127,8 @@ std::uint64_t Context::account_op(int rank) {
   const std::uint64_t op = op_counters_[static_cast<std::size_t>(rank)]
                                .fetch_add(1, std::memory_order_relaxed);
   if (plan_can_kill_ && plan_.kills(rank, op)) {
-    faults_injected_.fetch_add(1, std::memory_order_relaxed);
+    faults_injected_->add(1);
+    PARSVD_TRACE_INSTANT("fault.kill");
     log::warn("pmpi: fault plan kills rank ", rank, " at op ", op);
     mark_dead(rank);
     throw RankKilledError("rank " + std::to_string(rank) +
@@ -169,11 +182,10 @@ void Context::post(int src, int dest, int tag, std::vector<std::byte> payload) {
                     std::to_string(max_payload_) + " bytes");
   }
   const std::uint64_t op = account_op(src);
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    bytes_by_rank_[static_cast<std::size_t>(src)] += payload.size();
-    ++messages_;
-  }
+  messages_total_->add(1);
+  bytes_total_->add(payload.size());
+  bytes_by_rank_[static_cast<std::size_t>(src)]->add(payload.size());
+  payload_hist_->record(payload.size());
   const bool rel = reliability();
   const bool inject = plan_active_ && rel;
   const std::uint64_t checksum =
@@ -191,7 +203,8 @@ void Context::post(int src, int dest, int tag, std::vector<std::byte> payload) {
     log::trace("pmpi: post src=", src, " dest=", dest, " tag=", tag,
                " seq=", seq, " bytes=", msg.payload.size());
     if (fault) {
-      faults_injected_.fetch_add(1, std::memory_order_relaxed);
+      faults_injected_->add(1);
+      PARSVD_TRACE_INSTANT("fault.inject");
       log::debug("pmpi: inject ", to_string(fault->kind), " src=", src,
                  " dest=", dest, " tag=", tag, " seq=", seq);
       switch (fault->kind) {
@@ -305,7 +318,8 @@ bool Context::scan_channel_locked(Mailbox& box, int dest, int src, int tag,
       if (chan != box.log.end()) {
         auto entry = chan->second.find(it->seq);
         if (entry != chan->second.end()) {
-          retransmits_.fetch_add(1, std::memory_order_relaxed);
+          retransmits_->add(1);
+          PARSVD_TRACE_INSTANT("comm.retransmit");
           log::debug("pmpi: checksum mismatch, retransmitting seq=", it->seq,
                      " src=", src, " dest=", dest, " tag=", tag);
           it->payload = entry->second;
@@ -334,7 +348,8 @@ bool Context::scan_channel_locked(Mailbox& box, int dest, int src, int tag,
     if (chan != box.log.end()) {
       auto entry = chan->second.find(expected);
       if (entry != chan->second.end()) {
-        retransmits_.fetch_add(1, std::memory_order_relaxed);
+        retransmits_->add(1);
+        PARSVD_TRACE_INSTANT("comm.retransmit");
         log::debug("pmpi: recovering dropped seq=", expected, " src=", src,
                    " dest=", dest, " tag=", tag);
         std::vector<std::byte> payload = std::move(entry->second);
@@ -430,6 +445,7 @@ std::pair<std::size_t, std::vector<std::byte>> Context::wait_any_impl(
   for (const Channel& c : channels) {
     PARSVD_REQUIRE(c.src >= 0 && c.src < size_, "wait: src out of range");
   }
+  PARSVD_TRACE_SCOPE("comm.wait");
   Mailbox& box = *boxes_[static_cast<std::size_t>(dest)];
   std::unique_lock<std::mutex> lock(box.mu);
 
@@ -495,6 +511,8 @@ std::pair<std::size_t, std::vector<std::byte>> Context::wait_any_impl(
       } else if (t >= deadline_tick) {
         if (retries_left > 0) {
           --retries_left;
+          timeout_retries_->add(1);
+          PARSVD_TRACE_INSTANT("comm.timeout.retry");
           const std::chrono::milliseconds extension = backoff.next();
           log::debug("pmpi: wait timed out (dest ", dest, " <- src ",
                      channels[0].src, ", tag ", channels[0].tag, " [",
@@ -502,6 +520,8 @@ std::pair<std::size_t, std::vector<std::byte>> Context::wait_any_impl(
                      extension.count(), " ms");
           deadline_tick = t + ticks_for(extension);
         } else {
+          timeouts_->add(1);
+          PARSVD_TRACE_INSTANT("comm.timeout");
           throw CommTimeout(
               "pmpi: receive timed out after " +
               std::to_string(wait_timeout_.count()) + " ms and " +
@@ -544,6 +564,7 @@ void Context::abort_job() {
 }
 
 void Context::barrier(int rank) {
+  PARSVD_TRACE_SCOPE("comm.barrier");
   account_op(rank);
   std::unique_lock<std::mutex> lock(barrier_mu_);
   const std::uint64_t my_generation = barrier_generation_;
@@ -560,22 +581,15 @@ void Context::barrier(int rank) {
   if (aborted()) throw JobAbortedError("communicator aborted during barrier");
 }
 
-std::uint64_t Context::total_bytes() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  std::uint64_t sum = 0;
-  for (std::uint64_t b : bytes_by_rank_) sum += b;
-  return sum;
-}
+std::uint64_t Context::total_bytes() const { return bytes_total_->value(); }
 
 std::uint64_t Context::rank_bytes(int rank) const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
   PARSVD_REQUIRE(rank >= 0 && rank < size_, "rank out of range");
-  return bytes_by_rank_[static_cast<std::size_t>(rank)];
+  return bytes_by_rank_[static_cast<std::size_t>(rank)]->value();
 }
 
 std::uint64_t Context::total_messages() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return messages_;
+  return messages_total_->value();
 }
 
 // ----------------------------------------------------------- Communicator
@@ -772,6 +786,7 @@ void decode_gather_frame(
 
 std::vector<std::vector<std::byte>> Communicator::gather_bytes_tree(
     std::vector<std::byte> local, int root) {
+  PARSVD_TRACE_SCOPE("comm.gather.tree");
   const int p = size();
   const int vrank = (rank_ - root + p) % p;
   // Children sit at vrank + mask for every mask below our lowest set
@@ -813,6 +828,7 @@ std::vector<std::vector<std::byte>> Communicator::gather_bytes_impl(
     std::vector<std::byte> local, int root) {
   check_peer(root);
   if (use_tree_gather()) return gather_bytes_tree(std::move(local), root);
+  PARSVD_TRACE_SCOPE("comm.gather.flat");
   if (rank_ != root) {
     ctx_->post(rank_, root, tags::kGather, std::move(local));
     return {};
@@ -857,6 +873,7 @@ std::vector<Index> Communicator::allgather_index(Index value) {
 Matrix Communicator::scatter_rows(const Matrix& full,
                                   std::span<const Index> rows_per_rank,
                                   int root) {
+  PARSVD_TRACE_SCOPE("comm.scatter_rows");
   check_peer(root);
   PARSVD_REQUIRE(static_cast<int>(rows_per_rank.size()) == size(),
                  "scatter_rows: need one row count per rank");
@@ -924,6 +941,7 @@ void Communicator::reduce(std::span<double> data, Op op, int root) {
     reduce_tree(data, op, root);
     return;
   }
+  PARSVD_TRACE_SCOPE("comm.reduce.flat");
   if (rank_ != root) {
     std::vector<std::byte> payload(data.size_bytes());
     std::memcpy(payload.data(), data.data(), data.size_bytes());
@@ -950,6 +968,7 @@ void Communicator::reduce_tree(std::span<double> data, Op op, int root) {
   // root), so the result is deterministic run-to-run; the association
   // differs from the flat root-ordered fold in the usual last-bit
   // floating-point sense). Non-root `data` stays untouched.
+  PARSVD_TRACE_SCOPE("comm.reduce.tree");
   const int p = size();
   const int vrank = (rank_ - root + p) % p;
   std::vector<double> acc(data.begin(), data.end());
@@ -980,6 +999,7 @@ void Communicator::allreduce(std::span<double> data, Op op) {
     allreduce_rd(data, op);
     return;
   }
+  PARSVD_TRACE_SCOPE("comm.allreduce.flat");
   reduce(data, op, 0);
   std::vector<double> buf(data.begin(), data.end());
   bcast(buf, 0);
@@ -994,6 +1014,7 @@ void Communicator::allreduce_rd(std::span<double> data, Op op) {
   // two-operand ops (sum/max/min of two doubles) are exactly
   // commutative in IEEE arithmetic, so all ranks finish with
   // bit-identical results.
+  PARSVD_TRACE_SCOPE("comm.allreduce.rd");
   const topology::RdSchedule sched = topology::rd_schedule(rank_, size());
   std::vector<double> acc(data.begin(), data.end());
   std::vector<double> incoming;
@@ -1063,6 +1084,7 @@ std::vector<std::optional<std::vector<std::byte>>> Communicator::gather_bytes_ft
 
 std::vector<std::optional<std::vector<std::byte>>> Communicator::gather_bytes_ft(
     std::vector<std::byte>&& local, int root) {
+  PARSVD_TRACE_SCOPE("comm.gather.ft");
   check_peer(root);
   if (rank_ != root) {
     ctx_->post(rank_, root, tags::kFtGather, std::move(local));
@@ -1096,6 +1118,7 @@ std::vector<std::optional<Matrix>> Communicator::gather_matrices_ft(
 }
 
 void Communicator::bcast_bytes_ft(std::vector<std::byte>& payload, int root) {
+  PARSVD_TRACE_SCOPE("comm.bcast.ft");
   check_peer(root);
   if (size() == 1) return;
   if (rank_ == root) {
@@ -1133,6 +1156,7 @@ void Communicator::bcast_doubles_ft(std::vector<double>& values, int root) {
 }
 
 void Communicator::allreduce_sum_ft(std::span<double> data, int root) {
+  PARSVD_TRACE_SCOPE("comm.allreduce.ft");
   std::vector<std::byte> payload(data.size_bytes());
   std::memcpy(payload.data(), data.data(), data.size_bytes());
   std::vector<std::optional<std::vector<std::byte>>> contributions =
@@ -1163,6 +1187,9 @@ std::shared_ptr<Context> run_on(std::shared_ptr<Context> ctx,
   threads.reserve(static_cast<std::size_t>(size));
   for (int r = 0; r < size; ++r) {
     threads.emplace_back([r, &fn, ctx, &errors] {
+      // Rank threads get pid = rank+1 in the trace (pid 0 is reserved
+      // for shared infrastructure threads: pool, watchdog, prefetch).
+      obs::set_thread_identity(r, 0, "rank-main");
       try {
         Communicator comm(r, ctx);
         fn(comm);

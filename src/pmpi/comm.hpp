@@ -39,6 +39,8 @@
 #include <vector>
 
 #include "linalg/matrix.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pmpi/fault.hpp"
 #include "pmpi/request.hpp"
 #include "pmpi/tags.hpp"
@@ -235,10 +237,18 @@ class Context {
   std::uint64_t total_messages() const;
 
   /// Messages recovered from the retransmit log (drops + corruptions).
-  std::uint64_t retransmits() const { return retransmits_.load(std::memory_order_relaxed); }
+  std::uint64_t retransmits() const { return retransmits_->value(); }
 
   /// Faults the installed plan actually injected.
-  std::uint64_t faults_injected() const { return faults_injected_.load(std::memory_order_relaxed); }
+  std::uint64_t faults_injected() const { return faults_injected_->value(); }
+
+  /// The per-context metrics registry backing every statistic above —
+  /// the single source of truth ("comm.messages", "comm.bytes",
+  /// "comm.rank<r>.bytes", "comm.retransmits", "comm.faults_injected",
+  /// "comm.timeouts", "comm.timeout_retries", "comm.payload_bytes"
+  /// histogram). The accessors above are views into it.
+  obs::Registry& metrics() { return metrics_; }
+  const obs::Registry& metrics() const { return metrics_; }
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -299,9 +309,14 @@ class Context {
   int barrier_waiting_ = 0;
   std::uint64_t barrier_generation_ = 0;
 
-  mutable std::mutex stats_mu_;
-  std::vector<std::uint64_t> bytes_by_rank_;
-  std::uint64_t messages_ = 0;
+  // Communication statistics live in the per-context metrics registry;
+  // the hot-path pointers below are resolved once at construction so
+  // post() pays one relaxed atomic add per series, no mutex.
+  obs::Registry metrics_;
+  obs::Counter* messages_total_ = nullptr;
+  obs::Counter* bytes_total_ = nullptr;
+  std::vector<obs::Counter*> bytes_by_rank_;
+  obs::Histogram* payload_hist_ = nullptr;
 
   FaultPlan plan_;
   bool plan_active_ = false;
@@ -325,8 +340,10 @@ class Context {
   std::atomic<std::uint64_t> watchdog_ticks_{0};
   std::mutex watchdog_mu_;
   std::condition_variable watchdog_cv_;
-  std::atomic<std::uint64_t> retransmits_{0};
-  std::atomic<std::uint64_t> faults_injected_{0};
+  obs::Counter* retransmits_ = nullptr;
+  obs::Counter* faults_injected_ = nullptr;
+  obs::Counter* timeouts_ = nullptr;
+  obs::Counter* timeout_retries_ = nullptr;
 
   std::atomic<CollectiveAlgo> collective_algo_{CollectiveAlgo::Auto};
   std::atomic<std::uint64_t> eager_bytes_{std::uint64_t{1} << 14};  // 16 KiB
@@ -534,6 +551,7 @@ void Communicator::bcast(std::vector<T>& data, int root) {
     // lowest latency for tiny jobs); never chosen by Auto because only
     // the Context-wide setting keeps all ranks consistent — receivers
     // cannot see the payload size a size-aware switch would need.
+    PARSVD_TRACE_SCOPE("comm.bcast.flat");
     if (rank_ == root) {
       for (int dst = 0; dst < p; ++dst) {
         if (dst == root) continue;
@@ -555,6 +573,7 @@ void Communicator::bcast(std::vector<T>& data, int root) {
   // then fan out to the children in descending mask order, so big
   // subtrees get the payload first and their forwarding overlaps the
   // small sends. Ranks are rotated so the tree is rooted at `root`.
+  PARSVD_TRACE_SCOPE("comm.bcast.tree");
   const int vrank = (rank_ - root + p) % p;
   if (vrank != 0) {
     const int parent = (topology::binomial_parent(vrank) + root) % p;

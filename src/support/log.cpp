@@ -6,6 +6,10 @@
 #include <cstdlib>
 #include <mutex>
 
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace parsvd::log {
 namespace {
 
@@ -31,6 +35,25 @@ const char* level_name(Level lvl) {
   return "?????";
 }
 
+obs::Counter& level_counter(Level lvl) {
+  // One registry series per level (log.messages.<level>), resolved once.
+  static obs::Counter& trace_c = obs::Registry::global().counter("log.messages.trace");
+  static obs::Counter& debug_c = obs::Registry::global().counter("log.messages.debug");
+  static obs::Counter& info_c = obs::Registry::global().counter("log.messages.info");
+  static obs::Counter& warn_c = obs::Registry::global().counter("log.messages.warn");
+  static obs::Counter& error_c = obs::Registry::global().counter("log.messages.error");
+  static obs::Counter& other_c = obs::Registry::global().counter("log.messages.other");
+  switch (lvl) {
+    case Level::Trace: return trace_c;
+    case Level::Debug: return debug_c;
+    case Level::Info:  return info_c;
+    case Level::Warn:  return warn_c;
+    case Level::Error: return error_c;
+    case Level::Off:   return other_c;
+  }
+  return other_c;
+}
+
 }  // namespace
 
 Level level() { return level_storage().load(std::memory_order_relaxed); }
@@ -52,10 +75,26 @@ Level parse_level(std::string_view text) {
 }
 
 void write(Level lvl, std::string_view msg) {
+  level_counter(lvl).add(1);
+  // Monotonic milliseconds since the first log line of the process: line
+  // ordering stays interpretable across rank threads without wall-clock
+  // reads (the obs clock is the steady clock, or the fake one in tests).
+  static const std::int64_t base_ns = obs::clock().now_ns();
+  const std::int64_t elapsed_ns = obs::clock().now_ns() - base_ns;
+  const double elapsed_ms = static_cast<double>(elapsed_ns) / 1e6;
+  // Rank tag: rank threads registered via obs::set_thread_identity print
+  // r<N>; shared/unregistered threads print r-.
+  char rank_tag[16];
+  const int rank = obs::current_rank();
+  if (rank >= 0) {
+    std::snprintf(rank_tag, sizeof(rank_tag), "r%d", rank);
+  } else {
+    std::snprintf(rank_tag, sizeof(rank_tag), "r-");
+  }
   static std::mutex mu;
   std::lock_guard<std::mutex> lock(mu);
-  std::fprintf(stderr, "[parsvd %s] %.*s\n", level_name(lvl),
-               static_cast<int>(msg.size()), msg.data());
+  std::fprintf(stderr, "[parsvd %s +%.3fms %s] %.*s\n", rank_tag, elapsed_ms,
+               level_name(lvl), static_cast<int>(msg.size()), msg.data());
   std::fflush(stderr);
 }
 

@@ -4,9 +4,25 @@
 #include <cstdlib>
 #include <memory>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 
 namespace parsvd {
+
+namespace {
+
+obs::Counter& tasks_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("pool.tasks");
+  return c;
+}
+
+obs::Gauge& queue_depth_gauge() {
+  static obs::Gauge& g = obs::Registry::global().gauge("pool.queue_depth");
+  return g;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -17,7 +33,12 @@ ThreadPool::ThreadPool(std::size_t threads) {
   const std::size_t workers = threads > 1 ? threads - 1 : 0;
   workers_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      // Worker tids start at 1: tid 0 on the shared-thread trace row is
+      // whatever non-rank thread drives parallel_for from outside run_on.
+      obs::set_thread_identity(-1, static_cast<int>(i) + 1, "pool-worker");
+      worker_loop();
+    });
   }
 }
 
@@ -45,6 +66,8 @@ void ThreadPool::worker_loop() {
     }
     std::exception_ptr err;
     try {
+      PARSVD_TRACE_SCOPE("pool.chunk");
+      tasks_counter().add(1);
       task.body(task.begin, task.end);
     } catch (...) {
       err = std::current_exception();
@@ -67,6 +90,8 @@ bool ThreadPool::run_one() {
   }
   std::exception_ptr err;
   try {
+    PARSVD_TRACE_SCOPE("pool.chunk");
+    tasks_counter().add(1);
     task.body(task.begin, task.end);
   } catch (...) {
     err = std::current_exception();
@@ -95,6 +120,7 @@ void ThreadPool::parallel_for(
     return;
   }
 
+  PARSVD_TRACE_SCOPE("pool.parallel_for");
   Group group;
   group.pending = chunks;
   {
@@ -104,6 +130,9 @@ void ThreadPool::parallel_for(
       const std::size_t hi = std::min(end, lo + grain);
       queue_.push_back(Task{body_range, lo, hi, &group});
     }
+    const auto depth = static_cast<std::int64_t>(queue_.size());
+    queue_depth_gauge().set(depth);
+    queue_depth_gauge().track_max(depth);
   }
   cv_.notify_all();
 

@@ -2,7 +2,19 @@
 
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace parsvd::workloads {
+
+namespace {
+
+obs::Gauge& occupancy_gauge() {
+  static obs::Gauge& g = obs::Registry::global().gauge("prefetch.occupancy");
+  return g;
+}
+
+}  // namespace
 
 PrefetchingBatchSource::PrefetchingBatchSource(
     std::unique_ptr<BatchSource> inner, Index batch_cols, std::size_t depth)
@@ -50,6 +62,7 @@ Matrix PrefetchingBatchSource::next_batch(Index max_cols) {
   }
   Matrix batch = std::move(queue_.front());
   queue_.pop_front();
+  occupancy_gauge().set(static_cast<std::int64_t>(queue_.size()));
   delivered_ += batch.cols();
   lock.unlock();
   consumed_.notify_one();
@@ -57,6 +70,7 @@ Matrix PrefetchingBatchSource::next_batch(Index max_cols) {
 }
 
 void PrefetchingBatchSource::worker_loop() {
+  obs::set_thread_identity(-1, 91, "prefetch");
   // The worker is the sole toucher of inner_ from here on; only the
   // queue handoff needs the lock, so inner_->next_batch (the expensive
   // ingest) runs outside it and genuinely overlaps the consumer.
@@ -68,11 +82,17 @@ void PrefetchingBatchSource::worker_loop() {
         if (stop_) return;
       }
       if (inner_->exhausted()) break;
-      Matrix batch = inner_->next_batch(batch_cols_);
+      Matrix batch = [&] {
+        PARSVD_TRACE_SCOPE("prefetch.ingest");
+        return inner_->next_batch(batch_cols_);
+      }();
       {
         std::lock_guard<std::mutex> lock(mu_);
         if (stop_) return;
         queue_.push_back(std::move(batch));
+        const auto depth = static_cast<std::int64_t>(queue_.size());
+        occupancy_gauge().set(depth);
+        occupancy_gauge().track_max(depth);
       }
       produced_.notify_one();
     }

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "workloads/prefetch_source.hpp"
 
 namespace parsvd::workloads {
@@ -12,18 +14,32 @@ Index run_streaming(SvdBase& svd, std::unique_ptr<BatchSource> source,
   PARSVD_REQUIRE(opts.batch_cols > 0,
                  "run_streaming: batch_cols must be positive");
   PARSVD_REQUIRE(!source->exhausted(), "run_streaming: source is empty");
+  PARSVD_TRACE_SCOPE("stream.run");
+  static obs::Counter& batch_count =
+      obs::Registry::global().counter("stream.batches");
 
   if (opts.prefetch) {
     source = std::make_unique<PrefetchingBatchSource>(
         std::move(source), opts.batch_cols, opts.prefetch_depth);
   }
 
+  const auto pull = [&] {
+    PARSVD_TRACE_SCOPE("stream.ingest");
+    return source->next_batch(opts.batch_cols);
+  };
+
   Index batches = 0;
-  svd.initialize(source->next_batch(opts.batch_cols));
+  {
+    PARSVD_TRACE_SCOPE("stream.initialize");
+    svd.initialize(pull());
+  }
   ++batches;
+  batch_count.add(1);
   while (!source->exhausted()) {
-    svd.incorporate_data(source->next_batch(opts.batch_cols));
+    PARSVD_TRACE_SCOPE("stream.incorporate");
+    svd.incorporate_data(pull());
     ++batches;
+    batch_count.add(1);
   }
   return batches;
 }

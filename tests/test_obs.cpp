@@ -1,0 +1,328 @@
+// Tests of the observability layer (src/obs):
+//   * TraceRing overwrite-oldest semantics and capacity rounding;
+//   * thread identity mapping and the (pid, tid, start, -dur, name)
+//     flush order across rings written by different threads;
+//   * byte-identical Chrome trace JSON under a FakeClock — the property
+//     the replayable-trace design hangs on;
+//   * span emission from ThreadPool workers while the pool is armed
+//     (the TSan leg runs this test to prove the hot path is race-free);
+//   * the metrics registry: typed series, stable references, snapshots,
+//     and the logger's per-level routing through the global registry.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "support/log.hpp"
+#include "support/thread_pool.hpp"
+
+namespace parsvd::obs {
+namespace {
+
+// ------------------------------------------------------------ TraceRing
+
+TEST(TraceRing, OverwritesOldestAndCountsDrops) {
+  TraceRing ring(4);
+  EXPECT_EQ(ring.capacity(), 4u);
+  for (std::int64_t i = 0; i < 7; ++i) {
+    ring.push({"e", i, 1});
+  }
+  EXPECT_EQ(ring.recorded(), 7u);
+  EXPECT_EQ(ring.dropped(), 3u);
+  const std::vector<TraceEvent> kept = ring.snapshot();
+  ASSERT_EQ(kept.size(), 4u);
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    EXPECT_EQ(kept[i].start_ns, static_cast<std::int64_t>(i) + 3)
+        << "snapshot must be the newest events, oldest first";
+  }
+  ring.clear();
+  EXPECT_EQ(ring.recorded(), 0u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  EXPECT_TRUE(ring.snapshot().empty());
+}
+
+TEST(TraceRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(TraceRing(0).capacity(), 2u);
+  EXPECT_EQ(TraceRing(1).capacity(), 2u);
+  EXPECT_EQ(TraceRing(3).capacity(), 4u);
+  EXPECT_EQ(TraceRing(5).capacity(), 8u);
+  EXPECT_EQ(TraceRing(16).capacity(), 16u);
+}
+
+// ------------------------------------------------- flush order / identity
+
+// Run `body` on a fresh thread bound to the given trace track.
+void on_track(int rank, int tid, const char* label,
+              const std::function<void()>& body) {
+  std::thread t([&] {
+    set_thread_identity(rank, tid, label);
+    body();
+  });
+  t.join();
+}
+
+TEST(TraceFlush, MultiThreadEventsSortByTrackThenTime) {
+  FakeClock fake(0);
+  set_clock(&fake);
+  trace::reset();
+  trace::arm(true);
+
+  // Record out of track order on purpose; the flush must sort.
+  on_track(1, 0, "rank-main", [&] {
+    fake.set_ns(100);
+    {
+      PARSVD_TRACE_SCOPE("late");
+      fake.advance_ns(50);
+    }
+    PARSVD_TRACE_INSTANT("ping");
+  });
+  on_track(0, 0, "rank-main", [&] {
+    fake.set_ns(10);
+    PARSVD_TRACE_SCOPE("outer");
+    {
+      PARSVD_TRACE_SCOPE("inner");
+      fake.advance_ns(20);
+    }
+    fake.advance_ns(5);
+  });
+  on_track(-1, 5, "aux", [&] {
+    fake.set_ns(7);
+    PARSVD_TRACE_INSTANT("mark");
+  });
+
+  const std::vector<trace::FlushedEvent> evs = trace::snapshot();
+  trace::arm(false);
+  set_clock(nullptr);
+
+  ASSERT_EQ(evs.size(), 5u);
+  // Shared row (pid 0) first, then rank rows in order.
+  EXPECT_STREQ(evs[0].event.name, "mark");
+  EXPECT_EQ(evs[0].pid, 0);
+  EXPECT_EQ(evs[0].tid, 5);
+  EXPECT_LT(evs[0].event.dur_ns, 0);  // instant
+
+  // Same start: the longer (parent) span precedes its child.
+  EXPECT_STREQ(evs[1].event.name, "outer");
+  EXPECT_EQ(evs[1].pid, 1);
+  EXPECT_EQ(evs[1].event.start_ns, 10);
+  EXPECT_EQ(evs[1].event.dur_ns, 25);
+  EXPECT_STREQ(evs[2].event.name, "inner");
+  EXPECT_EQ(evs[2].event.start_ns, 10);
+  EXPECT_EQ(evs[2].event.dur_ns, 20);
+
+  EXPECT_STREQ(evs[3].event.name, "late");
+  EXPECT_EQ(evs[3].pid, 2);
+  EXPECT_EQ(evs[3].event.start_ns, 100);
+  EXPECT_EQ(evs[3].event.dur_ns, 50);
+  EXPECT_STREQ(evs[4].event.name, "ping");
+  EXPECT_EQ(evs[4].event.start_ns, 150);
+}
+
+TEST(TraceIdentity, AnonymousThreadGetsSharedFallbackTrack) {
+  trace::reset();
+  trace::arm(true);
+  std::thread t([] { PARSVD_TRACE_INSTANT("anon.mark"); });
+  t.join();
+  trace::arm(false);
+  bool found = false;
+  for (const trace::FlushedEvent& fe : trace::snapshot()) {
+    if (std::string(fe.event.name) == "anon.mark") {
+      found = true;
+      EXPECT_EQ(fe.pid, 0) << "unidentified threads land on the shared row";
+      EXPECT_GE(fe.tid, 1000) << "fallback tids sit above assigned ones";
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TraceIdentity, RingCapacityAppliesToNewThreads) {
+  trace::reset();
+  trace::arm(true);
+  trace::set_ring_capacity(8);
+  const std::uint64_t dropped_before = trace::dropped();
+  std::thread t([] {
+    for (int i = 0; i < 20; ++i) PARSVD_TRACE_INSTANT("wrap.mark");
+  });
+  t.join();
+  trace::set_ring_capacity(16384);  // restore the default for later tests
+  trace::arm(false);
+  EXPECT_EQ(trace::dropped() - dropped_before, 12u);
+  std::uint64_t kept = 0;
+  for (const trace::FlushedEvent& fe : trace::snapshot()) {
+    if (std::string(fe.event.name) == "wrap.mark") ++kept;
+  }
+  EXPECT_EQ(kept, 8u);
+}
+
+// ------------------------------------------------ deterministic JSON
+
+std::string deterministic_flush(FakeClock& fake) {
+  trace::reset();
+  trace::arm(true);
+  on_track(0, 0, "rank-main", [&] {
+    fake.set_ns(1000);
+    {
+      PARSVD_TRACE_SCOPE("pssvd.initialize");
+      fake.advance_ns(2500);
+      {
+        PARSVD_TRACE_SCOPE("linalg.qr.factor");
+        fake.advance_ns(700);
+      }
+    }
+    PARSVD_TRACE_INSTANT("comm.timeout");
+    {
+      PARSVD_TRACE_SCOPE("stream.incorporate");
+      fake.advance_ns(123);
+    }
+  });
+  trace::arm(false);
+  return trace::flush_json();
+}
+
+TEST(TraceFlush, FakeClockOutputIsByteIdentical) {
+  FakeClock fake(0);
+  set_clock(&fake);
+  const std::string first = deterministic_flush(fake);
+  const std::string second = deterministic_flush(fake);
+  set_clock(nullptr);
+  EXPECT_EQ(first, second);
+
+  // Spot-check the Chrome trace-event shape Perfetto expects.
+  EXPECT_NE(first.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(first.find("\"ph\":\"M\",\"name\":\"process_name\",\"pid\":1"),
+            std::string::npos);
+  EXPECT_NE(first.find("\"rank 0\""), std::string::npos);
+  EXPECT_NE(first.find("\"rank-main\""), std::string::npos);
+  // t0-normalized microsecond timestamps with fixed 3-digit fractions.
+  EXPECT_NE(first.find("\"name\":\"pssvd.initialize\",\"pid\":1,\"tid\":0,"
+                       "\"ts\":0.000,\"dur\":3.200"),
+            std::string::npos);
+  EXPECT_NE(first.find("\"name\":\"linalg.qr.factor\",\"pid\":1,\"tid\":0,"
+                       "\"ts\":2.500,\"dur\":0.700"),
+            std::string::npos);
+  EXPECT_NE(first.find("\"s\":\"t\""), std::string::npos);  // the instant
+  EXPECT_NE(first.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  // PARSVD_TRACE_WALL_ANCHOR is off: the anchor must stay 0 so the
+  // output carries no wall-clock bits.
+  EXPECT_NE(first.find("\"wall_anchor_ns\":\"0\""), std::string::npos);
+}
+
+// ----------------------------------------------------- pool worker spans
+
+TEST(TracePool, WorkersEmitSpansWhileArmed) {
+  trace::reset();
+  trace::arm(true);
+  ThreadPool pool(2);
+  std::atomic<std::uint64_t> sum{0};
+  pool.parallel_for(
+      0, 64,
+      [&sum](std::size_t lo, std::size_t hi) {
+        sum.fetch_add(hi - lo, std::memory_order_relaxed);
+      },
+      /*grain=*/4);
+  trace::arm(false);
+  EXPECT_EQ(sum.load(), 64u);
+
+  std::uint64_t chunks = 0, fors = 0;
+  for (const trace::FlushedEvent& fe : trace::snapshot()) {
+    const std::string name = fe.event.name;
+    if (name == "pool.chunk") {
+      ++chunks;
+      EXPECT_EQ(fe.pid, 0) << "pool spans live on the shared row";
+    }
+    if (name == "pool.parallel_for") ++fors;
+  }
+  EXPECT_EQ(fors, 1u);
+  EXPECT_EQ(chunks, 16u);  // ceil(64 / grain 4), caller + workers combined
+}
+
+// ------------------------------------------------------------- metrics
+
+TEST(Metrics, CounterGaugeHistogramSemantics) {
+  Counter c;
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+
+  Gauge g;
+  g.set(5);
+  g.add(10);
+  g.sub(3);
+  EXPECT_EQ(g.value(), 12);
+  g.track_max(7);
+  g.track_max(99);
+  g.track_max(12);
+  EXPECT_EQ(g.max_value(), 99);
+  g.reset();
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(g.max_value(), 0);
+
+  Histogram h;
+  h.record(0);     // bit width 0
+  h.record(1);     // 1
+  h.record(2);     // 2
+  h.record(3);     // 2
+  h.record(1024);  // 11
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 1030u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 2u);
+  EXPECT_EQ(h.bucket(11), 1u);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.bucket(2), 0u);
+}
+
+TEST(Metrics, RegistryReturnsStableReferences) {
+  Registry reg;
+  Counter& a = reg.counter("comm.bytes");
+  a.add(7);
+  // Enough distinct names to force rehash-like growth in a flat design;
+  // the node-based maps must keep `a`'s address valid regardless.
+  for (int i = 0; i < 64; ++i) {
+    reg.counter("filler." + std::to_string(i)).add(1);
+  }
+  Counter& b = reg.counter("comm.bytes");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 7u);
+
+  reg.gauge("pool.queue_depth").set(3);
+  reg.histogram("comm.payload_bytes").record(100);
+  const std::vector<Registry::Sample> snap = reg.snapshot();
+  ASSERT_FALSE(snap.empty());
+  for (std::size_t i = 1; i < snap.size(); ++i) {
+    EXPECT_LE(snap[i - 1].name, snap[i].name) << "snapshot is name-sorted";
+  }
+  const std::string table = reg.format_table();
+  EXPECT_NE(table.find("comm.bytes"), std::string::npos);
+  EXPECT_NE(table.find("pool.queue_depth"), std::string::npos);
+
+  reg.reset();
+  EXPECT_EQ(b.value(), 0u) << "reset zeroes values but keeps refs valid";
+  EXPECT_EQ(reg.gauge("pool.queue_depth").value(), 0);
+}
+
+TEST(Metrics, LoggerRoutesPerLevelCountsThroughGlobalRegistry) {
+  Counter& infos = Registry::global().counter("log.messages.info");
+  Counter& warns = Registry::global().counter("log.messages.warn");
+  const std::uint64_t info0 = infos.value();
+  const std::uint64_t warn0 = warns.value();
+  log::write(log::Level::Info, "obs test: info line");
+  log::write(log::Level::Warn, "obs test: warn line");
+  log::write(log::Level::Warn, "obs test: warn line again");
+  EXPECT_EQ(infos.value() - info0, 1u);
+  EXPECT_EQ(warns.value() - warn0, 2u);
+}
+
+}  // namespace
+}  // namespace parsvd::obs

@@ -228,6 +228,56 @@ TEST(VerifyCrossValidation, TsqrTree) {
   }
 }
 
+// ----------------------- metrics-registry vs schedule cross-validation
+
+// The accessors consumed above (total_messages / total_bytes) are thin
+// views over the per-context obs::Registry. Pin the registry series
+// themselves — dotted names, per-sender split, payload histogram —
+// against the schedule predictions for one flat and one tree bcast, so
+// a metric rename or a half-done migration cannot silently detach the
+// Context accessors from the registry while both tests keep passing.
+TEST(VerifyCrossValidation, MetricsRegistryTotals) {
+  using A = pmpi::CollectiveAlgo;
+  constexpr int p = 8;
+  constexpr std::size_t n = 48;  // doubles, comfortably above eager games
+  for (const A algo : {A::Flat, A::Tree}) {
+    const CollectiveConfig cfg{algo, std::uint64_t{1} << 14, 4};
+    const Schedule s = script_bcast(p, 0, n * sizeof(double), cfg);
+    ASSERT_TRUE(check_schedule(s).ok());
+    auto ctx = make_ctx(p, cfg);
+    pmpi::run_on(ctx, [](pmpi::Communicator& comm) {
+      std::vector<double> v(n, comm.rank() == 0 ? 3.0 : 0.0);
+      comm.bcast(v, 0);
+    });
+    obs::Registry& reg = ctx->metrics();
+    const Totals t = schedule_totals(s);
+    EXPECT_EQ(reg.counter("comm.messages").value(), t.messages) << s.name;
+    EXPECT_EQ(reg.counter("comm.bytes").value(), t.bytes) << s.name;
+    // Per-sender series against each rank's script, and their sum
+    // against the total (no bytes may hide outside the rank split).
+    std::uint64_t rank_sum = 0;
+    for (int r = 0; r < p; ++r) {
+      std::uint64_t sent = 0;
+      for (const CommEvent& e :
+           s.ranks[static_cast<std::size_t>(r)].events()) {
+        if (e.kind == CommEvent::Kind::Send) sent += e.bytes;
+      }
+      const std::uint64_t got =
+          reg.counter("comm.rank" + std::to_string(r) + ".bytes").value();
+      EXPECT_EQ(got, sent) << s.name << " rank " << r;
+      rank_sum += got;
+    }
+    EXPECT_EQ(rank_sum, t.bytes) << s.name;
+    // Every post records its payload in the size histogram.
+    const obs::Histogram& h = reg.histogram("comm.payload_bytes");
+    EXPECT_EQ(h.count(), t.messages) << s.name;
+    EXPECT_EQ(h.sum(), t.bytes) << s.name;
+    // And the legacy accessors must read the same registry, not a copy.
+    EXPECT_EQ(ctx->total_messages(), t.messages);
+    EXPECT_EQ(ctx->total_bytes(), t.bytes);
+  }
+}
+
 TEST(VerifyCrossValidation, Apmos) {
   for (const CollectiveConfig& cfg : cross_configs()) {
     for (const int p : kRankCounts) {

@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""CI gate for the obs tracing-overhead benchmark.
+
+Validates a freshly produced BENCH_obs.json (usually a --smoke run)
+against the committed full-size artifact:
+
+  1. both files parse and carry the schema_version-1 keys;
+  2. the committed artifact's acceptance claims hold: armed overhead
+     below the 2% target on the full-size (non-smoke) run, every rank
+     row covering >= 95% of the traced wall time, bit-identical
+     singular values with tracing on/off, and a non-empty trace;
+  3. the fresh run's deterministic invariants hold (bit-identical
+     results, >= 95% coverage, spans recorded). Its overhead is
+     reported but NOT gated: a smoke run lasts a few milliseconds, so
+     fixed arming costs dominate and shared-runner wall-clock noise
+     would make the gate flaky — the timing claim lives in the
+     committed artifact, which comes from the amortized full sweep;
+  4. with --trace=FILE, the flushed trace artifact is checked for
+     Perfetto-loadability: well-formed traceEvents, complete events
+     with sane timestamps, and process_name metadata for every rank.
+
+Usage: check_bench_obs.py FRESH_JSON COMMITTED_JSON [--trace=TRACE.json]
+"""
+
+import json
+import sys
+
+REQUIRED = [
+    "bench",
+    "schema_version",
+    "smoke",
+    "ranks",
+    "disabled_seconds",
+    "armed_seconds",
+    "overhead_pct",
+    "trace_events",
+    "trace_dropped",
+    "coverage_min_pct",
+    "results_bit_identical",
+]
+
+COMMITTED_OVERHEAD_PCT = 2.0
+COVERAGE_FLOOR_PCT = 95.0
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+    for key in REQUIRED:
+        if key not in doc:
+            fail(f"{path}: missing key '{key}'")
+    if doc["bench"] != "obs" or doc["schema_version"] != 1:
+        fail(f"{path}: not a schema_version-1 obs record")
+    return doc
+
+
+def check_invariants(path, doc):
+    """Load-insensitive invariants every run must satisfy."""
+    if not doc["results_bit_identical"]:
+        fail(f"{path}: singular values differ between disabled and armed")
+    if doc["trace_events"] <= 0:
+        fail(f"{path}: armed run recorded no spans")
+    if doc["coverage_min_pct"] < COVERAGE_FLOOR_PCT:
+        fail(
+            f"{path}: min rank coverage {doc['coverage_min_pct']:.2f}% "
+            f"below the {COVERAGE_FLOOR_PCT:.0f}% floor"
+        )
+    if doc["disabled_seconds"] <= 0 or doc["armed_seconds"] <= 0:
+        fail(f"{path}: non-positive timings")
+
+
+def check_trace(path, ranks):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: empty or missing traceEvents array")
+    named_pids = set()
+    spans = 0
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph not in ("X", "i", "M"):
+            fail(f"{path}: traceEvents[{i}] has unknown ph {ph!r}")
+        if not isinstance(ev.get("name"), str):
+            fail(f"{path}: traceEvents[{i}] missing a string name")
+        if ph == "X":
+            spans += 1
+            ts, dur = ev.get("ts"), ev.get("dur")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                fail(f"{path}: traceEvents[{i}] has bad ts {ts!r}")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(f"{path}: traceEvents[{i}] has bad dur {dur!r}")
+        elif ph == "M" and ev.get("name") == "process_name":
+            named_pids.add(ev.get("pid"))
+    if spans == 0:
+        fail(f"{path}: no complete ('X') events")
+    missing = [r + 1 for r in range(ranks) if r + 1 not in named_pids]
+    if missing:
+        fail(f"{path}: no process_name metadata for rank pids {missing}")
+    return spans
+
+
+def main(argv):
+    trace_path = None
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--trace="):
+            trace_path = arg.split("=", 1)[1]
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    fresh = load(paths[0])
+    committed = load(paths[1])
+
+    if committed["smoke"]:
+        fail("committed artifact: must come from the full-size sweep, not --smoke")
+    check_invariants(paths[1], committed)
+    if committed["overhead_pct"] >= COMMITTED_OVERHEAD_PCT:
+        fail(
+            f"committed artifact: armed overhead {committed['overhead_pct']:.2f}% "
+            f"exceeds the {COMMITTED_OVERHEAD_PCT:.0f}% acceptance target"
+        )
+
+    check_invariants(paths[0], fresh)
+
+    trace_note = ""
+    if trace_path is not None:
+        spans = check_trace(trace_path, fresh["ranks"])
+        trace_note = f", trace artifact valid ({spans} spans)"
+
+    print(
+        f"OK: committed overhead {committed['overhead_pct']:+.2f}% "
+        f"(coverage {committed['coverage_min_pct']:.1f}%), fresh run "
+        f"bit-identical at {fresh['coverage_min_pct']:.1f}% coverage "
+        f"(overhead {fresh['overhead_pct']:+.2f}%, informational)"
+        f"{trace_note}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""trace_report: per-phase / per-rank breakdown of a parsvd trace.
+
+Reads the Chrome trace-event JSON written by the obs layer
+(`PARSVD_TRACE=1 PARSVD_TRACE_OUT=trace.json <binary>` or
+`parsvd::obs::trace::flush_json_to`) and prints:
+
+  * a per-phase table — event count, inclusive time, self (exclusive)
+    time, and the slowest single rank for that phase;
+  * a per-rank table — span count, busy time (union of that rank's
+    spans) and its coverage of the run's wall time;
+  * a critical-path estimate: for each phase take the maximum self time
+    any one rank spent in it, and sum — a lower bound on the serial
+    chain assuming phases do not overlap across ranks.
+
+Spans nested on one thread track are attributed properly: a parent's
+self time excludes every enclosed child span, so `tsqr.factor_panel`
+time is not double-counted inside `pssvd.incorporate`.
+
+Usage:
+  trace_report.py TRACE.json [--top N] [--phase-prefix PFX]
+
+Exit status: 0 on success, 2 on a malformed trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import collections
+import json
+import os
+import pathlib
+import sys
+
+
+def load_events(path: pathlib.Path):
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"trace_report: cannot read {path}: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        print(f"trace_report: {path} has no traceEvents array", file=sys.stderr)
+        raise SystemExit(2)
+    return doc, events
+
+
+def union_length(intervals):
+    """Total length covered by a list of (start, end) intervals."""
+    total = 0.0
+    last_end = None
+    for start, end in sorted(intervals):
+        if last_end is None or start > last_end:
+            total += end - start
+            last_end = end
+        elif end > last_end:
+            total += end - last_end
+            last_end = end
+    return total
+
+
+def self_times(track_events):
+    """Exclusive time per event name for one (pid, tid) track.
+
+    Spans on one track are properly nested (they come from one thread's
+    RAII scopes), so a sweep with a stack attributes each slice of time
+    to the innermost open span.
+    """
+    per_name = collections.defaultdict(float)
+    # Sort by start, longest-first at equal starts so parents precede
+    # their children (the flusher emits them in this order already).
+    spans = sorted(track_events, key=lambda e: (e["ts"], -e["dur"]))
+    stack = []  # (name, end)
+    for ev in spans:
+        start, end = ev["ts"], ev["ts"] + ev["dur"]
+        while stack and stack[-1][1] <= start:
+            stack.pop()
+        if stack:
+            per_name[stack[-1][0]] -= ev["dur"]
+        per_name[ev["name"]] += ev["dur"]
+        stack.append((ev["name"], end))
+    return per_name
+
+
+def fmt_ms(us: float) -> str:
+    return f"{us / 1000.0:10.3f}"
+
+
+def main(argv) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", type=pathlib.Path)
+    parser.add_argument("--top", type=int, default=30,
+                        help="rows in the per-phase table (default 30)")
+    parser.add_argument("--phase-prefix", default="",
+                        help="only report phases whose name starts with this")
+    args = parser.parse_args(argv)
+
+    doc, events = load_events(args.trace)
+    spans = [e for e in events
+             if e.get("ph") == "X" and isinstance(e.get("dur"), (int, float))]
+    instants = [e for e in events if e.get("ph") == "i"]
+    if not spans:
+        print("trace_report: no complete ('X') events in trace")
+        return 0
+
+    t0 = min(e["ts"] for e in spans)
+    t1 = max(e["ts"] + e["dur"] for e in spans)
+    wall = max(t1 - t0, 1e-9)
+
+    # ------------------------------------------------ per-phase aggregation
+    tracks = collections.defaultdict(list)
+    for e in spans:
+        tracks[(e.get("pid", 0), e.get("tid", 0))].append(e)
+
+    incl = collections.defaultdict(float)   # name -> inclusive µs
+    count = collections.Counter()
+    excl = collections.defaultdict(float)   # name -> self µs (all tracks)
+    excl_by_rank = collections.defaultdict(lambda: collections.defaultdict(float))
+    for (pid, _tid), evs in tracks.items():
+        for e in evs:
+            incl[e["name"]] += e["dur"]
+            count[e["name"]] += 1
+        for name, self_us in self_times(evs).items():
+            excl[name] += self_us
+            excl_by_rank[name][pid] += self_us
+
+    names = [n for n in incl if n.startswith(args.phase_prefix)]
+    names.sort(key=lambda n: -excl[n])
+
+    print(f"trace: {args.trace}")
+    print(f"wall time: {wall / 1000.0:.3f} ms   spans: {len(spans)}   "
+          f"instants: {len(instants)}   tracks: {len(tracks)}")
+    anchor = (doc.get("otherData") or {}).get("wall_anchor_ns", "0")
+    if anchor not in ("0", 0):
+        print(f"wall anchor: {anchor} ns since epoch")
+    print()
+    print(f"{'phase':<28} {'count':>7} {'incl ms':>10} {'self ms':>10} "
+          f"{'self %':>7} {'max-rank self ms':>17}")
+    print("-" * 84)
+    for name in names[:args.top]:
+        by_rank = excl_by_rank[name]
+        max_rank_self = max(by_rank.values(), default=0.0)
+        print(f"{name:<28} {count[name]:>7} {fmt_ms(incl[name])} "
+              f"{fmt_ms(excl[name])} {100.0 * excl[name] / wall:>6.1f}% "
+              f"{fmt_ms(max_rank_self):>17}")
+    if len(names) > args.top:
+        print(f"... {len(names) - args.top} more phases (raise --top)")
+
+    # -------------------------------------------------- per-rank coverage
+    print()
+    print(f"{'rank':<8} {'spans':>7} {'busy ms':>10} {'coverage':>9}")
+    print("-" * 38)
+    rank_pids = sorted({pid for (pid, _t) in tracks if pid > 0})
+    coverages = []
+    for pid in rank_pids:
+        evs = [e for (p, _t), t_evs in tracks.items() if p == pid for e in t_evs]
+        busy = union_length([(e["ts"], e["ts"] + e["dur"]) for e in evs])
+        cov = 100.0 * busy / wall
+        coverages.append(cov)
+        print(f"rank {pid - 1:<3} {len(evs):>7} {fmt_ms(busy)} {cov:>8.1f}%")
+    shared = [e for (p, _t), t_evs in tracks.items() if p == 0 for e in t_evs]
+    if shared:
+        busy = union_length([(e["ts"], e["ts"] + e["dur"]) for e in shared])
+        print(f"{'shared':<8} {len(shared):>7} {fmt_ms(busy)} "
+              f"{100.0 * busy / wall:>8.1f}%")
+    if coverages:
+        print(f"min rank coverage: {min(coverages):.1f}%")
+
+    # -------------------------------------------- critical-path estimate
+    critical = sum(max(excl_by_rank[n].values(), default=0.0) for n in names)
+    print()
+    print(f"critical-path estimate (sum of per-phase max-rank self time): "
+          f"{critical / 1000.0:.3f} ms  ({100.0 * critical / wall:.1f}% of wall)")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main(sys.argv[1:]))
+    except BrokenPipeError:
+        # Downstream closed early (e.g. piped into `head`) — not an error.
+        # Re-point stdout at devnull so the interpreter's shutdown flush
+        # does not raise again.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)
