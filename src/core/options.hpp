@@ -10,6 +10,7 @@
 
 #include "linalg/matrix.hpp"
 #include "linalg/svd.hpp"
+#include "sketch/sketch.hpp"
 
 namespace parsvd {
 
@@ -57,10 +58,14 @@ struct RandomizedOptions {
   Index oversampling = 8;
   /// Power (subspace) iterations; 1-2 sharpen spectra with slow decay.
   int power_iterations = 0;
-  /// Seed for the Gaussian test matrix (deterministic per seed).
+  /// Seed for the test matrix (deterministic per seed).
   std::uint64_t seed = 0x5eed;
   /// Backend used for the small inner SVD.
   SvdMethod inner_method = SvdMethod::Jacobi;
+  /// Test-matrix family for the range finder. DenseGaussian (the paper's
+  /// operator) unless overridden here or via PARSVD_SKETCH_KIND; Auto
+  /// picks the cheapest kind from the per-shape apply-cost model.
+  sketch::SketchKind sketch_kind = sketch::default_kind();
 };
 
 /// Streaming (Levy-Lindenbaum) configuration, serial and parallel.

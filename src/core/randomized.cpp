@@ -4,6 +4,7 @@
 
 #include "linalg/blas.hpp"
 #include "linalg/qr.hpp"
+#include "sketch/sketch.hpp"
 
 namespace parsvd {
 
@@ -13,19 +14,31 @@ Matrix randomized_range_finder(const Matrix& a, const RandomizedOptions& opts,
   PARSVD_REQUIRE(opts.rank > 0, "randomized rank must be positive");
   const Index m = a.rows();
   const Index n = a.cols();
-  const Index sketch = std::min(opts.rank + opts.oversampling, std::min(m, n));
+  const Index sk = std::min(opts.rank + opts.oversampling, std::min(m, n));
 
-  Matrix omega = Matrix::gaussian(n, sketch, rng);
-  Matrix y = matmul(a, omega);
+  // One value off the caller's stream seeds the operator through the
+  // documented split — the stream still advances per draw (fresh Ω per
+  // call), and the operator's own randomness is per-global-row so the
+  // same seed realizes the same Ω on every rank.
+  const sketch::SketchKind kind =
+      sketch::resolve_auto(opts.sketch_kind, m, n, sk);
+  const auto op = sketch::make_sketch(
+      kind, n, sk, sketch::derive_operator_seed(rng.next_u64(), kind, 0));
+  Matrix y;
+  op->apply_right(a, y);
   orthonormalize_mgs2(y);
 
-  for (int it = 0; it < opts.power_iterations; ++it) {
-    // Y ← orth(A (Aᵀ Y)); the inner orthonormalization keeps the power
-    // iterates from collapsing onto the top singular direction.
-    Matrix z = matmul(a, y, Trans::Yes, Trans::No);
-    orthonormalize_mgs2(z);
-    y = matmul(a, z);
-    orthonormalize_mgs2(y);
+  // Y ← orth(A (Aᵀ Y)); the inner orthonormalization keeps the power
+  // iterates from collapsing onto the top singular direction. Z and Y
+  // are allocated once and written in place by the kernels each pass.
+  if (opts.power_iterations > 0) {
+    Matrix z(n, sk);
+    for (int it = 0; it < opts.power_iterations; ++it) {
+      gemm(Trans::Yes, Trans::No, 1.0, a, y, 0.0, z);
+      orthonormalize_mgs2(z);
+      gemm(Trans::No, Trans::No, 1.0, a, z, 0.0, y);
+      orthonormalize_mgs2(y);
+    }
   }
   return y;
 }

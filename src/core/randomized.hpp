@@ -1,6 +1,8 @@
 // Randomized SVD (paper §3.3, Halko-Martinsson-Tropp scheme).
 //
-//   1. Draw a Gaussian test matrix Ω (n x (r + p)).
+//   1. Draw a test matrix Ω (n x (r + p)) — dense Gaussian by default, or
+//      a structured sparse-sign / SRHT operator via
+//      RandomizedOptions::sketch_kind (src/sketch/, DESIGN §10).
 //   2. Sample the range: Y = A Ω, optionally refined by power iterations
 //      Y ← A (Aᵀ Y) with re-orthonormalization between products.
 //   3. Orthonormalize Q = qr(Y).
@@ -10,7 +12,8 @@
 // Step 2's re-orthonormalization is essential: without it the powered
 // sketch collapses onto the dominant singular direction in floating
 // point.  The paper samples a fresh Ω "every time a randomized SVD is
-// required"; we mirror that by advancing the RNG stream per call.
+// required"; we mirror that by advancing the RNG stream per call (one
+// draw seeds the operator through sketch::derive_operator_seed).
 #pragma once
 
 #include "core/options.hpp"

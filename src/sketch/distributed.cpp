@@ -1,0 +1,24 @@
+#include "sketch/distributed.hpp"
+
+#include <span>
+
+#include "obs/trace.hpp"
+#include "support/error.hpp"
+
+namespace parsvd::sketch {
+
+Matrix distributed_sketch_apply(pmpi::Communicator& comm,
+                                const SketchOperator& op,
+                                const Matrix& a_local, Index row_offset) {
+  PARSVD_REQUIRE(!a_local.empty(),
+                 "distributed sketch: every rank needs a non-empty block");
+  PARSVD_TRACE_SCOPE("sketch.distributed.apply");
+  Matrix b(op.sketch_dim(), a_local.cols());
+  op.accumulate_left(a_local, row_offset, b);
+  comm.allreduce(
+      std::span<double>(b.data(), static_cast<std::size_t>(b.size())),
+      pmpi::Op::Sum);
+  return b;
+}
+
+}  // namespace parsvd::sketch

@@ -1,0 +1,39 @@
+#include "sketch/sketch.hpp"
+
+#include "linalg/blas.hpp"
+#include "support/error.hpp"
+
+namespace parsvd::sketch {
+
+GaussianSketch::GaussianSketch(Index dim, Index sketch_dim, std::uint64_t seed)
+    : SketchOperator(SketchKind::DenseGaussian, dim, sketch_dim, seed) {}
+
+Matrix GaussianSketch::realize_rows(Index row0, Index nrows) const {
+  PARSVD_REQUIRE(row0 >= 0 && nrows > 0 && row0 + nrows <= dim(),
+                 "realize_rows: row block out of range");
+  const Index s = sketch_dim();
+  Matrix block(nrows, s);
+  std::vector<double> row(static_cast<std::size_t>(s));
+  for (Index r = 0; r < nrows; ++r) {
+    Rng rng = row_rng(operator_seed(), row0 + r);
+    rng.fill_gaussian(row.data(), row.size());
+    for (Index k = 0; k < s; ++k) {
+      block(r, k) = row[static_cast<std::size_t>(k)];
+    }
+  }
+  return block;
+}
+
+double GaussianSketch::apply_flops(Index m) const {
+  // One m x dim x sketch_dim GEMM plus the Ω draw itself.
+  const double d = static_cast<double>(dim());
+  const double s = static_cast<double>(sketch_dim());
+  return 2.0 * static_cast<double>(m) * d * s + d * s;
+}
+
+void GaussianSketch::do_apply_right(const Matrix& a, Matrix& y) const {
+  const Matrix omega = realize_rows(0, dim());
+  gemm(Trans::No, Trans::No, 1.0, a, omega, 0.0, y);
+}
+
+}  // namespace parsvd::sketch

@@ -1,0 +1,148 @@
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <vector>
+
+#include "linalg/blas.hpp"
+#include "sketch/sketch.hpp"
+#include "support/error.hpp"
+#include "support/thread_pool.hpp"
+
+namespace parsvd::sketch {
+namespace {
+
+// Rows of A processed per FWHT workspace pass. The workspace is
+// lane-major — w[i * kPanel + lane] holds Hadamard index i of panel row
+// `lane` — so every butterfly touches two contiguous kPanel-wide blocks
+// and the add/sub pair vectorizes across lanes instead of forming a
+// scalar dependency chain down one transform.
+constexpr Index kPanel = 16;
+
+// One blocked FWHT over all kPanel lanes at once: the classic iterative
+// butterfly, but each (u, v) pair is a contiguous block of kPanel
+// doubles. Unused lanes carry zeros and stay zero.
+void fwht_lanes(double* w, Index n) {
+  for (Index h = 1; h < n; h <<= 1) {
+    for (Index i = 0; i < n; i += 2 * h) {
+      for (Index j = i; j < i + h; ++j) {
+        double* u = w + static_cast<std::size_t>(j) * kPanel;
+        double* v = w + static_cast<std::size_t>(j + h) * kPanel;
+        for (Index l = 0; l < kPanel; ++l) {
+          const double x = u[l];
+          const double z = v[l];
+          u[l] = x + z;
+          v[l] = x - z;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+SrhtSketch::SrhtSketch(Index dim, Index sketch_dim, std::uint64_t seed)
+    : SketchOperator(SketchKind::Srht, dim, sketch_dim, seed),
+      padded_(next_pow2(dim)),
+      scale_(1.0 / std::sqrt(static_cast<double>(sketch_dim))) {
+  PARSVD_REQUIRE(sketch_dim <= padded_,
+                 "SRHT sketch_dim cannot exceed the padded dimension");
+  // The output subsample P lives on its own split of the operator stream
+  // — row_rng() is reserved for the per-row sign diagonal D.
+  Rng sel = Rng(seed).split(0x5e1ec7edULL);
+  std::vector<char> taken(static_cast<std::size_t>(padded_), 0);
+  selected_.reserve(static_cast<std::size_t>(sketch_dim));
+  for (Index t = 0; t < sketch_dim; ++t) {
+    Index c = 0;
+    do {
+      c = static_cast<Index>(
+          sel.uniform_index(static_cast<std::uint64_t>(padded_)));
+    } while (taken[static_cast<std::size_t>(c)] != 0);
+    taken[static_cast<std::size_t>(c)] = 1;
+    selected_.push_back(c);
+  }
+  std::sort(selected_.begin(), selected_.end());
+}
+
+double SrhtSketch::sign(Index row) const {
+  return (row_rng(operator_seed(), row).next_u64() & 1ULL) != 0 ? 1.0 : -1.0;
+}
+
+Matrix SrhtSketch::realize_rows(Index row0, Index nrows) const {
+  PARSVD_REQUIRE(row0 >= 0 && nrows > 0 && row0 + nrows <= dim(),
+                 "realize_rows: row block out of range");
+  const Index s = sketch_dim();
+  Matrix block(nrows, s);
+  for (Index r = 0; r < nrows; ++r) {
+    const Index row = row0 + r;
+    const double sgn = sign(row) * scale_;
+    for (Index k = 0; k < s; ++k) {
+      const auto bits = static_cast<std::uint64_t>(row) &
+                        static_cast<std::uint64_t>(
+                            selected_[static_cast<std::size_t>(k)]);
+      block(r, k) = (std::popcount(bits) & 1) != 0 ? -sgn : sgn;
+    }
+  }
+  return block;
+}
+
+double SrhtSketch::apply_flops(Index m) const {
+  const double dm = static_cast<double>(m);
+  double lg = 0.0;
+  for (Index p = 1; p < padded_; p <<= 1) lg += 1.0;
+  return dm * static_cast<double>(dim()) +
+         dm * static_cast<double>(padded_) * lg +
+         dm * static_cast<double>(sketch_dim());
+}
+
+void SrhtSketch::do_apply_right(const Matrix& a, Matrix& y) const {
+  const Index m = a.rows();
+  const Index d = dim();
+  const Index d2 = padded_;
+  const Index s = sketch_dim();
+  // The sign diagonal is row-derived; pull it once so the panel loop is
+  // pure arithmetic.
+  std::vector<double> signs(static_cast<std::size_t>(d));
+  for (Index r = 0; r < d; ++r) {
+    signs[static_cast<std::size_t>(r)] = sign(r);
+  }
+  const auto panel = [&](std::size_t i0z, std::size_t i1z) {
+    // Lane-major workspace (see kPanel).
+    std::vector<double> w(static_cast<std::size_t>(d2) * kPanel);
+    for (Index p0 = static_cast<Index>(i0z); p0 < static_cast<Index>(i1z);
+         p0 += kPanel) {
+      const Index p1 = std::min(p0 + kPanel, static_cast<Index>(i1z));
+      const Index pw = p1 - p0;
+      // The butterfly mixes values into the zero-padding rows [d, d2),
+      // so they must be re-zeroed before every transform.
+      std::fill(w.begin() + static_cast<std::ptrdiff_t>(d) * kPanel, w.end(),
+                0.0);
+      for (Index r = 0; r < d; ++r) {
+        const double* ar = a.col_data(r) + p0;
+        const double sgn = signs[static_cast<std::size_t>(r)];
+        double* wr = w.data() + static_cast<std::size_t>(r) * kPanel;
+        for (Index i = 0; i < pw; ++i) wr[i] = sgn * ar[i];
+        for (Index i = pw; i < kPanel; ++i) wr[i] = 0.0;
+      }
+      fwht_lanes(w.data(), d2);
+      for (Index k = 0; k < s; ++k) {
+        const Index c = selected_[static_cast<std::size_t>(k)];
+        double* yk = y.col_data(k) + p0;
+        const double* wc = w.data() + static_cast<std::size_t>(c) * kPanel;
+        for (Index i = 0; i < pw; ++i) yk[i] = scale_ * wc[i];
+      }
+    }
+  };
+  double lg = 0.0;
+  for (Index p = 1; p < d2; p <<= 1) lg += 1.0;
+  const bool threaded =
+      static_cast<double>(m) * static_cast<double>(d2) * lg >=
+          static_cast<double>(kGemmParallelThreshold) &&
+      ThreadPool::global().size() > 1;
+  if (threaded) {
+    ThreadPool::global().parallel_for(0, static_cast<std::size_t>(m), panel);
+  } else {
+    panel(0, static_cast<std::size_t>(m));
+  }
+}
+
+}  // namespace parsvd::sketch

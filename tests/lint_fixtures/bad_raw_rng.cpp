@@ -1,0 +1,12 @@
+// Seeded-bad fixture for the raw-rng rule: never compiled, only linted.
+// Raw std generators and distributions bypass parsvd::Rng's seed-split
+// discipline and are not bit-reproducible across standard libraries.
+#include <cstdlib>
+#include <random>
+
+double bad_draws() {
+  std::mt19937_64 gen(42);                        // raw-rng
+  std::uniform_real_distribution<double> u(0, 1); // raw-rng
+  std::srand(7);                                  // raw-rng
+  return u(gen) + static_cast<double>(std::rand());  // raw-rng
+}

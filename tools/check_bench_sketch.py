@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""CI gate for the structured-sketch benchmark trajectory.
+
+Validates a freshly produced BENCH_sketch.json (usually a --smoke run)
+against the committed trajectory:
+
+  1. both files parse, carry the schema_version-1 keys, and report zero
+     correctness failures (every sketch apply matched its realized
+     operator and the distributed sketch matched the serial product);
+  2. the committed trajectory's acceptance claims hold: sparse-sign AND
+     SRHT beat the dense-Gaussian GEMM at the 4096x2048, k=64 sweep
+     point, and at oversampling >= 10 the structured residuals stay
+     within 2x of dense;
+  3. for every apply entry present in BOTH files (matched on kind/m/n/k)
+     the deterministic flop model agrees exactly, and for every accuracy
+     entry (matched on kind/rank/oversampling) the residual agrees
+     within a tolerance (default 25%). The residuals are deterministic
+     functions of the pinned seeds, so a drift means the operators
+     changed shape — regressing wall-clock timing cannot flag on a
+     noisy shared runner.
+
+Usage: check_bench_sketch.py FRESH_JSON COMMITTED_JSON [--tolerance=0.25]
+"""
+
+import json
+import sys
+
+REQUIRED_TOP = [
+    "bench",
+    "schema_version",
+    "smoke",
+    "oversampling",
+    "apply",
+    "accuracy",
+    "distributed",
+    "claim_structured_beats_dense",
+    "claim_accuracy_within_2x",
+    "failures",
+]
+REQUIRED_APPLY = ["kind", "m", "n", "k", "sketch_dim", "seconds", "flops", "max_err"]
+REQUIRED_ACCURACY = ["kind", "rank", "oversampling", "residual", "ratio_vs_dense"]
+REQUIRED_DISTRIBUTED = ["kind", "ranks", "rows", "cols", "sketch_dim", "max_err"]
+
+CLAIM_POINT = {"m": 4096, "n": 2048, "k": 64}
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+    for key in REQUIRED_TOP:
+        if key not in doc:
+            fail(f"{path}: missing key '{key}'")
+    if doc["bench"] != "sketch" or doc["schema_version"] != 1:
+        fail(f"{path}: not a schema_version-1 sketch record")
+    for section, required in (
+        ("apply", REQUIRED_APPLY),
+        ("accuracy", REQUIRED_ACCURACY),
+        ("distributed", REQUIRED_DISTRIBUTED),
+    ):
+        for i, entry in enumerate(doc[section]):
+            for key in required:
+                if key not in entry:
+                    fail(f"{path}: {section}[{i}] missing '{key}'")
+    if doc["failures"] != 0:
+        fail(f"{path}: {doc['failures']} correctness failures recorded")
+    return doc
+
+
+def apply_key(e):
+    return (e["kind"], e["m"], e["n"], e["k"])
+
+
+def accuracy_key(e):
+    return (e["kind"], e["rank"], e["oversampling"])
+
+
+def main(argv):
+    tolerance = 0.25
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--tolerance="):
+            tolerance = float(arg.split("=", 1)[1])
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    fresh = load(paths[0])
+    committed = load(paths[1])
+
+    speed = committed["claim_structured_beats_dense"]
+    if not speed.get("holds"):
+        fail("committed trajectory: claim_structured_beats_dense does not hold")
+    for axis, want in CLAIM_POINT.items():
+        if speed.get(axis) != want:
+            fail(
+                f"committed trajectory: speed claim measured at "
+                f"{axis}={speed.get(axis)}, acceptance point is {axis}={want}"
+            )
+    if speed.get("sparse_speedup", 0) <= 1 or speed.get("srht_speedup", 0) <= 1:
+        fail("committed trajectory: structured speedups must exceed 1x")
+    acc = committed["claim_accuracy_within_2x"]
+    if not acc.get("holds"):
+        fail("committed trajectory: claim_accuracy_within_2x does not hold")
+    if acc.get("oversampling_min", 0) < 10:
+        fail("committed trajectory: accuracy claim below oversampling 10")
+    if acc.get("max_ratio_vs_dense", 99.0) > 2.0:
+        fail(
+            "committed trajectory: structured residual "
+            f"{acc.get('max_ratio_vs_dense'):.3f}x dense exceeds the 2x bar"
+        )
+
+    compared = 0
+    committed_apply = {apply_key(e): e for e in committed["apply"]}
+    for e in fresh["apply"]:
+        ref = committed_apply.get(apply_key(e))
+        if ref is None:
+            continue
+        # The flop model is an exact function of (kind, shape): any drift
+        # means an operator changed its arithmetic.
+        if e["flops"] != ref["flops"]:
+            fail(
+                f"{apply_key(e)}: flop model drifted "
+                f"{e['flops']:.4g} vs committed {ref['flops']:.4g}"
+            )
+        compared += 1
+    committed_acc = {accuracy_key(e): e for e in committed["accuracy"]}
+    for e in fresh["accuracy"]:
+        ref = committed_acc.get(accuracy_key(e))
+        if ref is None:
+            continue
+        a, b = e["residual"], ref["residual"]
+        denom = max(abs(a), abs(b), 1e-300)
+        if abs(a - b) / denom > tolerance:
+            fail(
+                f"{accuracy_key(e)}: residual drifted {a:.6g} vs committed "
+                f"{b:.6g} (> {tolerance * 100:.0f}%)"
+            )
+        compared += 1
+    if compared == 0:
+        fail("no comparable entries between fresh and committed runs")
+
+    print(
+        f"OK: {compared} entries within {tolerance * 100:.0f}%, claims hold "
+        f"(sparse {speed['sparse_speedup']:.2f}x, srht "
+        f"{speed['srht_speedup']:.2f}x vs dense at 4096x2048; structured "
+        f"residual <= {acc['max_ratio_vs_dense']:.2f}x dense)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

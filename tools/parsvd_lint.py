@@ -20,6 +20,15 @@ Rules
                  README.md registry table. Undocumented knobs rot.
                  Scope: src/, bench/, examples/ against README.md.
 
+  raw-rng        A raw random source (std::mt19937, std::random_device,
+                 std::*_distribution, rand()/srand()) outside
+                 src/support/rng.{hpp,cpp}. Every random draw must go
+                 through parsvd::Rng so sketches and test fixtures stay
+                 bit-reproducible across platforms (libstdc++ and libc++
+                 disagree on distribution algorithms) and so the
+                 documented seed-split discipline holds. Scope: src/,
+                 bench/, examples/.
+
   wall-clock     Wall-clock APIs (std::time, gmtime, localtime,
                  strftime, system_clock) in library or bench sources.
                  Bench JSON must be bit-reproducible run-to-run so CI
@@ -198,6 +207,31 @@ def rule_env_registry(paths, readme: pathlib.Path, findings: list) -> None:
                  "environment-variable registry"))
 
 
+# ------------------------------------------------------------ rule: raw-rng
+
+RAW_RNG = re.compile(
+    r"\b(std::(?:mt19937(?:_64)?|minstd_rand0?|ranlux\w+|knuth_b|"
+    r"default_random_engine|random_device|\w+_distribution)\b|"
+    r"(?:std::)?s?rand\s*\()")
+
+# The one sanctioned wrapper: parsvd::Rng in src/support/rng.{hpp,cpp}
+# owns the generator; everything else derives streams via Rng::split.
+RAW_RNG_EXEMPT_NAMES = {"rng.hpp", "rng.cpp"}
+
+
+def rule_raw_rng(path: pathlib.Path, text: str, findings: list) -> None:
+    if path.name in RAW_RNG_EXEMPT_NAMES and path.parent.name == "support":
+        return
+    clean = strip_comments(text)
+    for m in RAW_RNG.finditer(clean):
+        line = clean.count("\n", 0, m.start()) + 1
+        findings.append(
+            (path, line, "raw-rng",
+             f"raw random source '{m.group(1).strip()}'; draw through "
+             "parsvd::Rng (src/support/rng.hpp) so streams stay "
+             "reproducible and follow the seed-split discipline"))
+
+
 # --------------------------------------------------------- rule: wall-clock
 
 WALL_CLOCK = re.compile(
@@ -261,6 +295,7 @@ def main(argv) -> int:
             text = path.read_text(encoding="utf-8", errors="replace")
             rule_raw_tag(path, text, findings)
             rule_pipelined(path, text, findings)
+            rule_raw_rng(path, text, findings)
             rule_wall_clock(path, text, findings)
         rule_env_registry(args.files, readme, findings)
     else:
@@ -270,6 +305,7 @@ def main(argv) -> int:
         for path in src + bench + examples:
             text = path.read_text(encoding="utf-8", errors="replace")
             rule_raw_tag(path, text, findings)
+            rule_raw_rng(path, text, findings)
         for path in src:
             rule_pipelined(
                 path, path.read_text(encoding="utf-8", errors="replace"),
