@@ -185,7 +185,10 @@ void ParallelStreamingSVD::update_fault_report() {
   std::vector<double> flat;
   if (comm_.is_root()) {
     FaultReport rep;
-    rep.dead_ranks = comm_.context().dead_ranks();
+    // Communicator-scoped, not Context-wide: on a group communicator
+    // this lists group-local ranks and a sibling group's death never
+    // appears here — the degraded report is the group's own.
+    rep.dead_ranks = comm_.dead_ranks();
     rep.degraded = !rep.dead_ranks.empty();
     rep.extent_known = true;
     std::vector<bool> dead(static_cast<std::size_t>(comm_.size()), false);

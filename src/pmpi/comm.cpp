@@ -581,6 +581,35 @@ void Context::barrier(int rank) {
   if (aborted()) throw JobAbortedError("communicator aborted during barrier");
 }
 
+std::shared_ptr<const Group> Context::group_for(std::vector<int> members) {
+  PARSVD_REQUIRE(!members.empty(), "group_for: empty member list");
+  std::lock_guard<std::mutex> lock(groups_mu_);
+  auto it = groups_.find(members);
+  if (it != groups_.end()) return it->second;
+  PARSVD_REQUIRE(next_group_id_ <= tags::kMaxGroups,
+                 "group_for: group id space exhausted");
+  std::shared_ptr<Group> grp(new Group());
+  grp->id_ = next_group_id_;
+  grp->members_ = members;
+  grp->world_to_group_.assign(static_cast<std::size_t>(size_), -1);
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    const int r = members[i];
+    PARSVD_REQUIRE(r >= 0 && r < size_, "group_for: member rank out of range");
+    PARSVD_REQUIRE(grp->world_to_group_[static_cast<std::size_t>(r)] == -1,
+                   "group_for: duplicate member rank");
+    grp->world_to_group_[static_cast<std::size_t>(r)] = static_cast<int>(i);
+  }
+  const std::string prefix = "comm.group" + std::to_string(grp->id_);
+  grp->messages_ = &metrics_.counter(prefix + ".messages");
+  grp->bytes_ = &metrics_.counter(prefix + ".bytes");
+  ++next_group_id_;
+  log::debug("pmpi: minted group ", grp->id_, " with ", members.size(),
+             " member(s)");
+  std::shared_ptr<const Group> out = std::move(grp);
+  groups_.emplace(std::move(members), out);
+  return out;
+}
+
 std::uint64_t Context::total_bytes() const { return bytes_total_->value(); }
 
 std::uint64_t Context::rank_bytes(int rank) const {
@@ -600,6 +629,15 @@ Communicator::Communicator(int rank, std::shared_ptr<Context> ctx)
   PARSVD_REQUIRE(rank_ >= 0 && rank_ < ctx_->size(), "rank out of range");
 }
 
+Communicator::Communicator(int rank, std::shared_ptr<Context> ctx,
+                           std::shared_ptr<const Group> group)
+    : rank_(rank), ctx_(std::move(ctx)), group_(std::move(group)) {
+  PARSVD_REQUIRE(ctx_ != nullptr, "null context");
+  PARSVD_REQUIRE(group_ != nullptr, "null group");
+  PARSVD_REQUIRE(rank_ >= 0 && rank_ < group_->size(),
+                 "group rank out of range");
+}
+
 void Communicator::check_payload(std::size_t bytes) const {
   if (static_cast<std::uint64_t>(bytes) > ctx_->max_payload_bytes()) {
     throw CommError("pmpi: send of " + std::to_string(bytes) +
@@ -608,12 +646,121 @@ void Communicator::check_payload(std::size_t bytes) const {
   }
 }
 
-void Communicator::send_bytes(std::vector<std::byte> payload, int dest, int tag) {
-  ctx_->post(rank_, dest, tag, std::move(payload));
+void Communicator::post_scoped(int dest, int tag,
+                               std::vector<std::byte> payload) {
+  if (group_) group_->note_post(payload.size());
+  ctx_->post(wr(rank_), wr(dest), wire_tag(tag), std::move(payload));
 }
 
-std::vector<std::byte> Communicator::recv_bytes(int src, int tag) {
-  return ctx_->wait(rank_, src, tag);
+std::vector<std::byte> Communicator::wait_scoped(int src, int tag) {
+  return ctx_->wait(wr(rank_), wr(src), wire_tag(tag));
+}
+
+// ------------------------------------------------- communicator groups
+
+std::optional<Communicator> Communicator::split(int color, int key) {
+  PARSVD_TRACE_SCOPE("comm.split");
+  const int p = size();
+  // One allgather of (color, key) over the parent communicator; every
+  // rank then derives every subgroup's member list locally and resolves
+  // the shared Group from the context registry — no further protocol.
+  std::vector<std::int64_t> mine{color, key};
+  std::vector<std::int64_t> table = gatherv<std::int64_t>(mine, 0);
+  bcast(table, 0);
+  PARSVD_REQUIRE(table.size() == 2 * static_cast<std::size_t>(p),
+                 "split: malformed (color, key) table");
+  // Mint the partition's groups in ascending color order. Every rank
+  // walks the same order, so a group can only ever be created after all
+  // lower-colored groups exist — ids are deterministic run-to-run even
+  // though sibling members race into group_for.
+  std::vector<int> colors;
+  for (int r = 0; r < p; ++r) {
+    const int c = static_cast<int>(table[2 * static_cast<std::size_t>(r)]);
+    if (c >= 0) colors.push_back(c);
+  }
+  std::sort(colors.begin(), colors.end());
+  colors.erase(std::unique(colors.begin(), colors.end()), colors.end());
+  std::optional<Communicator> out;
+  for (const int c : colors) {
+    // Members of color c, ordered by (key, parent rank) — the
+    // MPI_Comm_split tie-break — then mapped to world ranks.
+    std::vector<std::pair<std::int64_t, int>> members;
+    for (int r = 0; r < p; ++r) {
+      if (static_cast<int>(table[2 * static_cast<std::size_t>(r)]) != c) {
+        continue;
+      }
+      members.emplace_back(table[2 * static_cast<std::size_t>(r) + 1], r);
+    }
+    std::sort(members.begin(), members.end());
+    std::vector<int> world;
+    world.reserve(members.size());
+    int my_group_rank = -1;
+    for (const auto& [k, r] : members) {
+      if (r == rank_) my_group_rank = static_cast<int>(world.size());
+      world.push_back(wr(r));
+    }
+    std::shared_ptr<const Group> grp = ctx_->group_for(std::move(world));
+    if (c == color) out.emplace(Communicator(my_group_rank, ctx_, grp));
+  }
+  return out;
+}
+
+std::optional<Communicator> Communicator::subgroup(
+    std::span<const int> ranks) const {
+  PARSVD_REQUIRE(!ranks.empty(), "subgroup: empty member list");
+  std::vector<int> world;
+  world.reserve(ranks.size());
+  int my_group_rank = -1;
+  for (const int r : ranks) {
+    PARSVD_REQUIRE(r >= 0 && r < size(), "subgroup: member rank out of range");
+    if (r == rank_) my_group_rank = static_cast<int>(world.size());
+    world.push_back(wr(r));
+  }
+  if (my_group_rank < 0) return std::nullopt;
+  return Communicator(my_group_rank, ctx_, ctx_->group_for(std::move(world)));
+}
+
+std::vector<int> Communicator::dead_ranks() const {
+  if (!group_) return ctx_->dead_ranks();
+  std::vector<int> out;
+  for (int r = 0; r < size(); ++r) {
+    if (ctx_->is_dead(group_->world_rank(r))) out.push_back(r);
+  }
+  return out;
+}
+
+int Communicator::alive_count() const {
+  if (!group_) return ctx_->alive_count();
+  return size() - static_cast<int>(dead_ranks().size());
+}
+
+void Communicator::barrier() {
+  if (!group_) {
+    ctx_->barrier(rank_);
+    return;
+  }
+  // Group barriers cannot use the context's central barrier (it counts
+  // every world rank); a flat gather + release over the group's scoped
+  // kBarrier channel gives the same rendezvous with group-local death
+  // semantics: a member death surfaces to the group root as
+  // RankDeadError while sibling groups' barriers proceed untouched.
+  PARSVD_TRACE_SCOPE("comm.barrier.group");
+  const int p = size();
+  if (p == 1) {
+    ctx_->account_op(wr(rank_));
+    return;
+  }
+  if (rank_ == 0) {
+    for (int src = 1; src < p; ++src) {
+      (void)wait_scoped(src, tags::kBarrier);
+    }
+    for (int dst = 1; dst < p; ++dst) {
+      post_scoped(dst, tags::kBarrier, {});
+    }
+  } else {
+    post_scoped(0, tags::kBarrier, {});
+    (void)wait_scoped(0, tags::kBarrier);
+  }
 }
 
 void pack_matrix_into(const Matrix& m, std::vector<std::byte>& out) {
@@ -652,13 +799,13 @@ void Communicator::send_matrix(const Matrix& m, int dest, int tag) {
   check_tag(tag);
   check_payload(2 * sizeof(std::int64_t) +
                 static_cast<std::size_t>(m.size()) * sizeof(double));
-  send_bytes(pack_matrix(m), dest, tag);
+  post_scoped(dest, tag, pack_matrix(m));
 }
 
 Matrix Communicator::recv_matrix(int src, int tag) {
   check_peer(src);
   check_tag(tag);
-  return unpack_matrix(recv_bytes(src, tag));
+  return unpack_matrix(wait_scoped(src, tag));
 }
 
 Request Communicator::isend_matrix(const Matrix& m, int dest, int tag) {
@@ -666,8 +813,9 @@ Request Communicator::isend_matrix(const Matrix& m, int dest, int tag) {
   check_tag(tag);
   check_payload(2 * sizeof(std::int64_t) +
                 static_cast<std::size_t>(m.size()) * sizeof(double));
-  ctx_->post(rank_, dest, tag, pack_matrix(m));
-  return Request(ctx_, Request::Kind::Send, rank_, dest, tag, /*done=*/true);
+  post_scoped(dest, tag, pack_matrix(m));
+  return Request(ctx_, Request::Kind::Send, wr(rank_), wr(dest), wire_tag(tag),
+                 /*done=*/true);
 }
 
 Request Communicator::irecv(int src, int tag) {
@@ -676,9 +824,10 @@ Request Communicator::irecv(int src, int tag) {
   // The op is accounted NOW, not when the message is consumed, so a
   // deterministic fault schedule sees the same per-rank op sequence no
   // matter how often the request is polled before completion.
-  ctx_->account_op(rank_);
-  ctx_->register_irecv(rank_, src, tag);
-  return Request(ctx_, Request::Kind::Recv, rank_, src, tag, /*done=*/false);
+  ctx_->account_op(wr(rank_));
+  ctx_->register_irecv(wr(rank_), wr(src), wire_tag(tag));
+  return Request(ctx_, Request::Kind::Recv, wr(rank_), wr(src), wire_tag(tag),
+                 /*done=*/false);
 }
 
 void Communicator::bcast_matrix(Matrix& m, int root) {
@@ -812,14 +961,14 @@ std::vector<std::vector<std::byte>> Communicator::gather_bytes_tree(
     // subtree, which is what turns the root's p-1 sequential receives
     // into log2(p) — the α·(P-1) → α·log P critical-path win.
     const std::vector<std::byte> frame =
-        ctx_->wait(rank_, child, tags::kGatherTree);
+        wait_scoped(child, tags::kGatherTree);
     decode_gather_frame(frame, vrank == 0 ? nullptr : &entries,
                         vrank == 0 ? &out : nullptr, p);
   }
 
   if (vrank != 0) {
     const int parent = (topology::binomial_parent(vrank) + root) % p;
-    ctx_->post(rank_, parent, tags::kGatherTree, encode_gather_frame(entries));
+    post_scoped(parent, tags::kGatherTree, encode_gather_frame(entries));
   }
   return out;
 }
@@ -830,14 +979,14 @@ std::vector<std::vector<std::byte>> Communicator::gather_bytes_impl(
   if (use_tree_gather()) return gather_bytes_tree(std::move(local), root);
   PARSVD_TRACE_SCOPE("comm.gather.flat");
   if (rank_ != root) {
-    ctx_->post(rank_, root, tags::kGather, std::move(local));
+    post_scoped(root, tags::kGather, std::move(local));
     return {};
   }
   std::vector<std::vector<std::byte>> out(static_cast<std::size_t>(size()));
   out[static_cast<std::size_t>(root)] = std::move(local);
   for (int src = 0; src < size(); ++src) {
     if (src == root) continue;
-    out[static_cast<std::size_t>(src)] = ctx_->wait(rank_, src, tags::kGather);
+    out[static_cast<std::size_t>(src)] = wait_scoped(src, tags::kGather);
   }
   return out;
 }
@@ -903,13 +1052,13 @@ Matrix Communicator::scatter_rows(const Matrix& full,
                       static_cast<std::size_t>(nrows) * sizeof(double));
           cursor += static_cast<std::size_t>(nrows) * sizeof(double);
         }
-        send_bytes(std::move(payload), dst, tags::kScatter);
+        post_scoped(dst, tags::kScatter, std::move(payload));
       }
       offset += nrows;
     }
     return mine;
   }
-  return unpack_matrix(ctx_->wait(rank_, root, tags::kScatter));
+  return unpack_matrix(wait_scoped(root, tags::kScatter));
 }
 
 namespace {
@@ -945,14 +1094,14 @@ void Communicator::reduce(std::span<double> data, Op op, int root) {
   if (rank_ != root) {
     std::vector<std::byte> payload(data.size_bytes());
     std::memcpy(payload.data(), data.data(), data.size_bytes());
-    send_bytes(std::move(payload), root, tags::kReduce);
+    post_scoped(root, tags::kReduce, std::move(payload));
     return;
   }
   // Accumulate contributions in a fixed rank order so the result is
   // deterministic run-to-run (floating-point reduction order matters).
   for (int src = 0; src < size(); ++src) {
     if (src == root) continue;
-    const std::vector<std::byte> payload = ctx_->wait(rank_, src, tags::kReduce);
+    const std::vector<std::byte> payload = wait_scoped(src, tags::kReduce);
     PARSVD_REQUIRE(payload.size() == data.size_bytes(),
                    "reduce: contribution size mismatch");
     std::span<const double> incoming(
@@ -976,7 +1125,7 @@ void Communicator::reduce_tree(std::span<double> data, Op op, int root) {
        topology::binomial_children(vrank, p, /*ascending=*/true)) {
     const int child = (child_v + root) % p;
     const std::vector<std::byte> payload =
-        ctx_->wait(rank_, child, tags::kReduceTree);
+        wait_scoped(child, tags::kReduceTree);
     PARSVD_REQUIRE(payload.size() == data.size_bytes(),
                    "reduce: contribution size mismatch");
     std::span<const double> incoming(
@@ -989,7 +1138,7 @@ void Communicator::reduce_tree(std::span<double> data, Op op, int root) {
     const int parent = (topology::binomial_parent(vrank) + root) % p;
     std::vector<std::byte> payload(data.size_bytes());
     std::memcpy(payload.data(), acc.data(), payload.size());
-    ctx_->post(rank_, parent, tags::kReduceTree, std::move(payload));
+    post_scoped(parent, tags::kReduceTree, std::move(payload));
   }
 }
 
@@ -1022,9 +1171,9 @@ void Communicator::allreduce_rd(std::span<double> data, Op op) {
   const auto exchange_with = [&](int partner) {
     std::vector<std::byte> payload(acc.size() * sizeof(double));
     std::memcpy(payload.data(), acc.data(), payload.size());
-    ctx_->post(rank_, partner, tags::kAllreduce, std::move(payload));
+    post_scoped(partner, tags::kAllreduce, std::move(payload));
     const std::vector<std::byte> reply =
-        ctx_->wait(rank_, partner, tags::kAllreduce);
+        wait_scoped(partner, tags::kAllreduce);
     PARSVD_REQUIRE(reply.size() == data.size_bytes(),
                    "allreduce: contribution size mismatch");
     incoming.assign(reinterpret_cast<const double*>(reply.data()),
@@ -1036,9 +1185,9 @@ void Communicator::allreduce_rd(std::span<double> data, Op op) {
   if (sched.folded_out) {
     std::vector<std::byte> payload(acc.size() * sizeof(double));
     std::memcpy(payload.data(), acc.data(), payload.size());
-    ctx_->post(rank_, sched.fold_peer, tags::kAllreduce, std::move(payload));
+    post_scoped(sched.fold_peer, tags::kAllreduce, std::move(payload));
     const std::vector<std::byte> result =
-        ctx_->wait(rank_, sched.fold_peer, tags::kAllreduce);
+        wait_scoped(sched.fold_peer, tags::kAllreduce);
     PARSVD_REQUIRE(result.size() == data.size_bytes(),
                    "allreduce: result size mismatch");
     std::memcpy(data.data(), result.data(), result.size());
@@ -1046,7 +1195,7 @@ void Communicator::allreduce_rd(std::span<double> data, Op op) {
   }
   if (sched.fold_peer >= 0) {
     const std::vector<std::byte> payload =
-        ctx_->wait(rank_, sched.fold_peer, tags::kAllreduce);
+        wait_scoped(sched.fold_peer, tags::kAllreduce);
     PARSVD_REQUIRE(payload.size() == data.size_bytes(),
                    "allreduce: contribution size mismatch");
     apply_op(op, acc,
@@ -1063,7 +1212,7 @@ void Communicator::allreduce_rd(std::span<double> data, Op op) {
     // Fan the finished result back out to the folded-in odd partner.
     std::vector<std::byte> payload(acc.size() * sizeof(double));
     std::memcpy(payload.data(), acc.data(), payload.size());
-    ctx_->post(rank_, sched.fold_peer, tags::kAllreduce, std::move(payload));
+    post_scoped(sched.fold_peer, tags::kAllreduce, std::move(payload));
   }
   std::copy(acc.begin(), acc.end(), data.begin());
 }
@@ -1087,7 +1236,7 @@ std::vector<std::optional<std::vector<std::byte>>> Communicator::gather_bytes_ft
   PARSVD_TRACE_SCOPE("comm.gather.ft");
   check_peer(root);
   if (rank_ != root) {
-    ctx_->post(rank_, root, tags::kFtGather, std::move(local));
+    post_scoped(root, tags::kFtGather, std::move(local));
     return {};
   }
   std::vector<std::optional<std::vector<std::byte>>> out(
@@ -1097,7 +1246,7 @@ std::vector<std::optional<std::vector<std::byte>>> Communicator::gather_bytes_ft
     if (src == root) continue;
     try {
       out[static_cast<std::size_t>(src)] =
-          ctx_->wait(rank_, src, tags::kFtGather);
+          wait_scoped(src, tags::kFtGather);
     } catch (const RankDeadError&) {
       // Died before posting its contribution: excluded, not waited for.
       out[static_cast<std::size_t>(src)] = std::nullopt;
@@ -1123,13 +1272,13 @@ void Communicator::bcast_bytes_ft(std::vector<std::byte>& payload, int root) {
   if (size() == 1) return;
   if (rank_ == root) {
     for (int dst = 0; dst < size(); ++dst) {
-      if (dst == root || ctx_->is_dead(dst)) continue;
+      if (dst == root || is_dead(dst)) continue;
       // A rank dying after this aliveness check is harmless: the posted
       // copy simply stays unconsumed in its mailbox.
-      ctx_->post(rank_, dst, tags::kFtBcast, std::vector<std::byte>(payload));
+      post_scoped(dst, tags::kFtBcast, std::vector<std::byte>(payload));
     }
   } else {
-    payload = ctx_->wait(rank_, root, tags::kFtBcast);
+    payload = wait_scoped(root, tags::kFtBcast);
   }
 }
 

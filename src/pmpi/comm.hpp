@@ -67,6 +67,48 @@ std::vector<std::byte> pack_matrix(const Matrix& m);
 void pack_matrix_into(const Matrix& m, std::vector<std::byte>& out);
 Matrix unpack_matrix(std::span<const std::byte> payload);
 
+class Context;
+
+/// An ordered subset of a Context's world ranks with its own dense rank
+/// numbering [0, size()). Minted by Context::group_for — one shared
+/// instance per distinct ordered member list, so every member rank that
+/// derives the same list gets the same Group (and the same id) with no
+/// extra communication. Group ids start at 1 (0 is the implicit world
+/// communicator) and key both the group's private wire-tag band
+/// (tags::group_scope) and its metric series ("comm.group<id>.messages"
+/// / "comm.group<id>.bytes" in the context registry).
+class Group {
+ public:
+  /// Dense group id >= 1, stable for the Context's lifetime.
+  int id() const { return id_; }
+  int size() const { return static_cast<int>(members_.size()); }
+  /// Group rank -> world rank, in group rank order.
+  const std::vector<int>& members() const { return members_; }
+  int world_rank(int group_rank) const {
+    return members_[static_cast<std::size_t>(group_rank)];
+  }
+  /// World rank -> group rank; -1 for non-members.
+  int group_rank_of_world(int world_rank) const {
+    return world_to_group_[static_cast<std::size_t>(world_rank)];
+  }
+  /// Bump the group's metric series for one posted message. Counters are
+  /// owned by the context registry; this is the group-scoped view of the
+  /// same traffic "comm.messages"/"comm.bytes" count world-wide.
+  void note_post(std::size_t bytes) const {
+    messages_->add(1);
+    bytes_->add(bytes);
+  }
+
+ private:
+  friend class Context;
+  Group() = default;
+  int id_ = 0;
+  std::vector<int> members_;
+  std::vector<int> world_to_group_;
+  obs::Counter* messages_ = nullptr;
+  obs::Counter* bytes_ = nullptr;
+};
+
 /// Shared state of one communicator "job": mailboxes, barrier, counters,
 /// reliability envelope and fault-injection hooks.
 /// Owned jointly by every Communicator handle of the job.
@@ -130,6 +172,16 @@ class Context {
   /// compile both calls to no-ops.
   void register_irecv(int dest, int src, int tag);
   void unregister_irecv(int dest, int src, int tag);
+
+  /// Mint (or look up) the group with exactly this ordered world-rank
+  /// member list. Deterministic per list: the first caller allocates the
+  /// next id, every later caller with the same list gets the shared
+  /// instance — so all members of one split/subgroup agree on the id
+  /// without any extra protocol. Concurrent first mints of DIFFERENT
+  /// lists take arrival order; callers that need run-to-run stable ids
+  /// either mint in a fixed order (Communicator::split does) or pre-mint
+  /// here before ranks start.
+  std::shared_ptr<const Group> group_for(std::vector<int> members);
 
   // ------------------------------------------- collective algorithm policy
   // Job-wide so all ranks agree on the topology (see CollectiveAlgo).
@@ -354,19 +406,72 @@ class Context {
   // across build types) in release builds.
   std::mutex irecv_mu_;
   std::set<std::tuple<int, int, int>> open_irecvs_;
+
+  // Communicator groups, keyed by their ordered member list so every
+  // member minting the same subgroup resolves to one shared instance.
+  std::mutex groups_mu_;
+  std::map<std::vector<int>, std::shared_ptr<const Group>> groups_;
+  int next_group_id_ = 1;
 };
 
 /// Per-rank handle: the library-facing API (mirrors the MPI calls used in
 /// PyParSVD Listings 3 and 4).
+///
+/// A Communicator is either the world communicator (every Context rank,
+/// world rank numbering, raw tags on the wire) or a GROUP communicator
+/// produced by split()/subgroup(): ranks are the group's dense
+/// [0, size()) numbering, and every post/wait internally translates
+/// (rank, tag) to (world rank, tags::group_scope(id, tag)) — so the full
+/// API, the collectives, the reliability envelope, fault injection and
+/// the Request layer work unchanged on subgroups, and sibling groups can
+/// run concurrently on one Context without tag collisions.
 class Communicator {
  public:
   Communicator(int rank, std::shared_ptr<Context> ctx);
+  /// Group communicator: `rank` is the GROUP-local rank of this handle
+  /// inside `group` (pass the result of Group::group_rank_of_world).
+  Communicator(int rank, std::shared_ptr<Context> ctx,
+               std::shared_ptr<const Group> group);
 
   int rank() const { return rank_; }
-  int size() const { return ctx_->size(); }
+  int size() const { return group_ ? group_->size() : ctx_->size(); }
   bool is_root() const { return rank_ == 0; }
   Context& context() { return *ctx_; }
   const Context& context() const { return *ctx_; }
+
+  /// The group behind this communicator; nullptr for the world
+  /// communicator.
+  const Group* group() const { return group_.get(); }
+  /// This handle's rank in the underlying Context (== rank() on the
+  /// world communicator).
+  int world_rank() const { return wr(rank_); }
+
+  // ------------------------------------------------- communicator groups
+
+  /// Collective over this communicator (MPI_Comm_split semantics): ranks
+  /// passing the same non-negative `color` form one subgroup, ordered by
+  /// (key, parent rank); `color < 0` opts out and yields nullopt. One
+  /// allgather of (color, key) over the parent is the only
+  /// communication; every member then derives the member list locally
+  /// and resolves the same shared Group. Groups are minted in ascending
+  /// color order, so ids are deterministic run-to-run.
+  std::optional<Communicator> split(int color, int key = 0);
+
+  /// Purely local subgroup of this communicator's ranks: every member of
+  /// `ranks` must call with an identical list (the MPI_Comm_create
+  /// contract); non-members may call and get nullopt. `ranks` order
+  /// defines the group's dense numbering. No communication — but
+  /// concurrent FIRST mints of different lists get arrival-order ids;
+  /// pre-mint via Context::group_for when ids must be run-to-run stable.
+  std::optional<Communicator> subgroup(std::span<const int> ranks) const;
+
+  /// Dead ranks as THIS communicator numbers them: group-local ranks on
+  /// a group communicator (a sibling group's dead rank is invisible
+  /// here — the death-isolation contract), world ranks on the world
+  /// communicator.
+  std::vector<int> dead_ranks() const;
+  bool is_dead(int rank) const { return ctx_->is_dead(wr(rank)); }
+  int alive_count() const;
 
   // ------------------------------------------------------- point-to-point
 
@@ -381,7 +486,7 @@ class Communicator {
     check_payload(data.size_bytes());
     std::vector<std::byte> payload(data.size_bytes());
     std::memcpy(payload.data(), data.data(), data.size_bytes());
-    ctx_->post(rank_, dest, tag, std::move(payload));
+    post_scoped(dest, tag, std::move(payload));
   }
 
   /// Blocking receive; returns the full payload reinterpreted as T.
@@ -390,7 +495,7 @@ class Communicator {
     static_assert(std::is_trivially_copyable_v<T>);
     check_peer(src);
     check_tag(tag);
-    const std::vector<std::byte> payload = ctx_->wait(rank_, src, tag);
+    const std::vector<std::byte> payload = wait_scoped(src, tag);
     PARSVD_REQUIRE(payload.size() % sizeof(T) == 0,
                    "received payload not a whole number of elements");
     std::vector<T> out(payload.size() / sizeof(T));
@@ -415,8 +520,9 @@ class Communicator {
     check_payload(data.size_bytes());
     std::vector<std::byte> payload(data.size_bytes());
     std::memcpy(payload.data(), data.data(), data.size_bytes());
-    ctx_->post(rank_, dest, tag, std::move(payload));
-    return Request(ctx_, Request::Kind::Send, rank_, dest, tag, /*done=*/true);
+    post_scoped(dest, tag, std::move(payload));
+    return Request(ctx_, Request::Kind::Send, wr(rank_), wr(dest),
+                   wire_tag(tag), /*done=*/true);
   }
 
   Request isend_matrix(const Matrix& m, int dest, int tag = 0);
@@ -430,7 +536,11 @@ class Communicator {
   // Every collective must be called by all ranks of the communicator, in
   // the same order — the MPI contract.
 
-  void barrier() { ctx_->barrier(rank_); }
+  /// World communicator: the context's central generation barrier.
+  /// Group communicator: a message-based flat gather + release on the
+  /// group's scoped tags::kBarrier channel, so a member death surfaces
+  /// here (RankDeadError) and never stalls a sibling group's barrier.
+  void barrier();
 
   /// Binomial-tree broadcast; `data` is input at root, output elsewhere.
   template <typename T>
@@ -503,8 +613,11 @@ class Communicator {
   void check_peer(int peer) const {
     PARSVD_REQUIRE(peer >= 0 && peer < size(), "peer rank out of range");
   }
-  static void check_tag(int tag) {
+  void check_tag(int tag) const {
     PARSVD_REQUIRE(tag >= 0, "user tags must be non-negative");
+    PARSVD_REQUIRE(!group_ || tag < tags::kGroupUserLimit,
+                   "group communicator user tags must be below "
+                   "tags::kGroupUserLimit (the scoped band is finite)");
   }
   /// Reject degenerate payload sizes with a typed CommError before any
   /// buffer is allocated (oversized sends were previously unguarded).
@@ -513,8 +626,19 @@ class Communicator {
   // Collective tags live in the tags:: registry (tags.hpp); they are
   // negative, which the public API rejects for user traffic.
 
-  void send_bytes(std::vector<std::byte> payload, int dest, int tag);
-  std::vector<std::byte> recv_bytes(int src, int tag);
+  // ------------------------------------- group rank/tag translation
+  // EVERY context access of this communicator funnels through these:
+  // on a group communicator they translate local ranks to world ranks
+  // and relocate local tags into the group's scoped band, and
+  // post_scoped additionally bumps the group's metric series. On the
+  // world communicator all three are identities.
+
+  int wr(int rank) const { return group_ ? group_->world_rank(rank) : rank; }
+  int wire_tag(int tag) const {
+    return group_ ? tags::group_scope(group_->id(), tag) : tag;
+  }
+  void post_scoped(int dest, int tag, std::vector<std::byte> payload);
+  std::vector<std::byte> wait_scoped(int src, int tag);
 
   // ----------------------------------- collective topology dispatch
   // Policy predicates evaluate Context-wide settings plus inputs every
@@ -535,8 +659,10 @@ class Communicator {
   void reduce_tree(std::span<double> data, Op op, int root);
   void allreduce_rd(std::span<double> data, Op op);
 
+  // Group-local rank on a group communicator, world rank otherwise.
   int rank_;
   std::shared_ptr<Context> ctx_;
+  std::shared_ptr<const Group> group_;  // null on the world communicator
 };
 
 template <typename T>
@@ -557,11 +683,10 @@ void Communicator::bcast(std::vector<T>& data, int root) {
         if (dst == root) continue;
         std::vector<std::byte> payload(data.size() * sizeof(T));
         std::memcpy(payload.data(), data.data(), payload.size());
-        ctx_->post(rank_, dst, tags::kBcast, std::move(payload));
+        post_scoped(dst, tags::kBcast, std::move(payload));
       }
     } else {
-      const std::vector<std::byte> payload =
-          ctx_->wait(rank_, root, tags::kBcast);
+      const std::vector<std::byte> payload = wait_scoped(root, tags::kBcast);
       data.resize(payload.size() / sizeof(T));
       std::memcpy(data.data(), payload.data(), payload.size());
     }
@@ -577,8 +702,7 @@ void Communicator::bcast(std::vector<T>& data, int root) {
   const int vrank = (rank_ - root + p) % p;
   if (vrank != 0) {
     const int parent = (topology::binomial_parent(vrank) + root) % p;
-    const std::vector<std::byte> payload =
-        ctx_->wait(rank_, parent, tags::kBcast);
+    const std::vector<std::byte> payload = wait_scoped(parent, tags::kBcast);
     data.resize(payload.size() / sizeof(T));
     std::memcpy(data.data(), payload.data(), payload.size());
   }
@@ -587,7 +711,7 @@ void Communicator::bcast(std::vector<T>& data, int root) {
     const int child = (child_v + root) % p;
     std::vector<std::byte> payload(data.size() * sizeof(T));
     std::memcpy(payload.data(), data.data(), payload.size());
-    ctx_->post(rank_, child, tags::kBcast, std::move(payload));
+    post_scoped(child, tags::kBcast, std::move(payload));
   }
 }
 

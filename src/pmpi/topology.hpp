@@ -9,6 +9,12 @@
 // deadlock-free is, by construction, the schedule the solvers post.
 // Changing a topology here changes both sides at once; a divergence is
 // impossible rather than merely tested for.
+//
+// "P" is a COMMUNICATOR size, not necessarily the Context's world size:
+// group communicators (Communicator::split / subgroup) call in with
+// their group size and dense group ranks, so every tree/recursive-
+// doubling shape — and the Auto policy thresholds — apply per group
+// exactly as they do world-wide.
 #pragma once
 
 #include <algorithm>

@@ -363,6 +363,19 @@ void check_progress(const Schedule& s, std::vector<Violation>* out) {
 }  // namespace
 
 bool tag_registered(int tag) {
+  if (tags::is_group_scoped(tag)) {
+    // A scoped wire tag is registered iff it decodes to a valid group id
+    // and a base tag that is registered in the group-LOCAL tag space:
+    // the world rules below, plus kBarrier (the message-based group
+    // barrier, which never appears unscoped — the world barrier is the
+    // context's central rendezvous, not wire traffic), minus user tags
+    // at or above kGroupUserLimit (they don't fit in one band).
+    const int gid = tags::scoped_group(tag);
+    if (gid < 1 || gid > tags::kMaxGroups) return false;
+    const int base = tags::unscoped(tag);
+    if (base >= tags::kGroupUserLimit) return false;
+    return base == tags::kBarrier || tag_registered(base);
+  }
   if (tag >= tags::kAllreduce && tag <= tags::kBcast) return true;
   if (tag >= tags::kTsqrUpBase && tag < tags::kApmosGatherBase + tags::kRangeWidth)
     return true;

@@ -4,15 +4,24 @@
 // threads, no payloads). Also self-tests the checker against seeded
 // defective schedules, printing the counterexample trace for each.
 //
-//   schedule_check            full sweep + selftest
+// Subgroup schedules are swept alongside the world ones: every P is
+// partitioned into halves / singleton+rest / three-way / even-odd
+// member lists, each group runs a different protocol concurrently under
+// its own tag scope, and the partition is checked as one world
+// schedule — proving sibling groups cannot interfere by construction.
+//
+//   schedule_check            full sweep (world + groups) + selftest
 //   schedule_check --smoke    reduced rank set (CI gate)
+//   schedule_check --groups   subgroup-partition sweep only (+ selftest)
 //   schedule_check --selftest seeded-defect detection only
 //
 // Exit code 0 iff every real schedule passes AND every seeded defect is
 // caught with the expected violation kind.
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <iostream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -93,19 +102,97 @@ void sweep_p(int p, const std::vector<CollectiveConfig>& grid,
   }
 }
 
-bool run_sweep(bool smoke) {
+/// The partition shapes swept per world size: contiguous halves, a
+/// singleton plus the rest, contiguous thirds, and an even/odd
+/// interleave (non-contiguous members, so the group-rank -> world-rank
+/// translation is exercised, not just offsetting). Shapes collapse for
+/// tiny p (p=1 yields the same single-group partition three times over);
+/// empty groups are dropped. Group ids are minted 1..n in partition
+/// order, matching Communicator::split's ascending-color order.
+std::vector<std::vector<GroupSpec>> partitions_for(int p) {
+  std::vector<std::vector<int>> shapes[4];
+  // halves
+  shapes[0].assign(2, {});
+  for (int r = 0; r < p; ++r) {
+    shapes[0][r < p / 2 ? 0u : 1u].push_back(r);
+  }
+  // singleton + rest
+  shapes[1].assign(2, {});
+  shapes[1][0].push_back(0);
+  for (int r = 1; r < p; ++r) shapes[1][1].push_back(r);
+  // three-way
+  shapes[2].assign(3, {});
+  for (int r = 0; r < p; ++r) {
+    shapes[2][static_cast<std::size_t>(std::min(r / ((p + 2) / 3), 2))]
+        .push_back(r);
+  }
+  // even/odd interleave
+  shapes[3].assign(2, {});
+  for (int r = 0; r < p; ++r) shapes[3][static_cast<std::size_t>(r % 2)]
+      .push_back(r);
+
+  std::vector<std::vector<GroupSpec>> out;
+  for (auto& shape : shapes) {
+    std::vector<GroupSpec> partition;
+    int next_id = 1;
+    for (auto& members : shape) {
+      if (members.empty()) continue;
+      partition.push_back({next_id++, std::move(members)});
+    }
+    out.push_back(std::move(partition));
+  }
+  return out;
+}
+
+void sweep_groups(int p, const std::vector<CollectiveConfig>& grid,
+                  SweepStats* stats) {
+  constexpr GroupProtocol kProtos[] = {
+      GroupProtocol::TsqrTree,  GroupProtocol::Allreduce,
+      GroupProtocol::Gather,    GroupProtocol::Bcast,
+      GroupProtocol::Barrier,   GroupProtocol::Allgather,
+      GroupProtocol::Reduce,    GroupProtocol::Apmos,
+  };
+  constexpr int kNumProtos = static_cast<int>(std::size(kProtos));
+  const std::vector<std::vector<GroupSpec>> partitions = partitions_for(p);
+  for (const CollectiveConfig& cfg : grid) {
+    for (std::size_t shape = 0; shape < partitions.size(); ++shape) {
+      const std::vector<GroupSpec>& groups = partitions[shape];
+      // Rotate protocol assignments with the shape index so every
+      // protocol eventually runs concurrently with every other.
+      std::vector<GroupProtocol> protos;
+      protos.reserve(groups.size());
+      for (std::size_t i = 0; i < groups.size(); ++i) {
+        protos.push_back(
+            kProtos[(static_cast<int>(i + shape)) % kNumProtos]);
+      }
+      // Both sides of the 16 KiB default eager switch, per group.
+      run_check(script_partition(p, groups, protos, 64, cfg), stats);
+      run_check(script_partition(p, groups, protos, std::uint64_t{1} << 15,
+                                 cfg),
+                stats);
+    }
+  }
+}
+
+bool run_sweep(bool smoke, bool groups_only) {
   SweepStats stats;
   const std::vector<CollectiveConfig> grid = policy_grid();
+  const std::vector<int> smoke_ps{1, 2, 3, 4, 5, 8, 16, 33, 64};
   if (smoke) {
-    for (const int p : {1, 2, 3, 4, 5, 8, 16, 33, 64}) {
-      sweep_p(p, grid, &stats);
+    for (const int p : smoke_ps) {
+      if (!groups_only) sweep_p(p, grid, &stats);
+      sweep_groups(p, grid, &stats);
     }
   } else {
-    for (int p = 1; p <= 64; ++p) sweep_p(p, grid, &stats);
+    for (int p = 1; p <= 64; ++p) {
+      if (!groups_only) sweep_p(p, grid, &stats);
+      sweep_groups(p, grid, &stats);
+    }
   }
   std::cout << "schedule_check: " << stats.schedules << " schedules, "
             << stats.events << " events, " << stats.failures << " failure(s)"
-            << (smoke ? " [smoke]" : "") << "\n";
+            << (groups_only ? " [groups]" : "") << (smoke ? " [smoke]" : "")
+            << "\n";
   return stats.failures == 0;
 }
 
@@ -141,18 +228,21 @@ bool run_selftest() {
 int main(int argc, char** argv) {
   bool smoke = false;
   bool selftest_only = false;
+  bool groups_only = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--selftest") == 0) {
       selftest_only = true;
+    } else if (std::strcmp(argv[i], "--groups") == 0) {
+      groups_only = true;
     } else {
-      std::cerr << "usage: schedule_check [--smoke|--selftest]\n";
+      std::cerr << "usage: schedule_check [--smoke] [--groups|--selftest]\n";
       return 2;
     }
   }
   bool ok = true;
-  if (!selftest_only) ok = run_sweep(smoke) && ok;
+  if (!selftest_only) ok = run_sweep(smoke, groups_only) && ok;
   ok = run_selftest() && ok;
   return ok ? 0 : 1;
 }

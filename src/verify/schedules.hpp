@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <span>
 
 #include "pmpi/topology.hpp"
@@ -71,5 +72,69 @@ Schedule script_tsqr_tree(int p, std::int64_t k, const CollectiveConfig& cfg);
 /// wait_any) plus the Stage-5 X / Λ result broadcasts.
 Schedule script_apmos(int p, std::uint64_t w_bytes, std::uint64_t x_bytes,
                       std::uint64_t lambda_bytes, const CollectiveConfig& cfg);
+
+// ------------------------------------------------ communicator groups
+// Mirrors of Communicator::split / subgroup (pmpi/comm.hpp): a group
+// communicator runs the SAME protocols with its group size and dense
+// group ranks, and the wire layer rewrites (rank, tag) via
+// Group::world_rank and tags::group_scope. embed_group_schedule applies
+// exactly that rewrite to a model schedule, so the partition schedules
+// the checker proves safe are the schedules concurrent group jobs post.
+
+/// Model of one pmpi::Group: its Context-minted id and its members as
+/// world ranks, indexed by group rank (the split/subgroup ordering).
+struct GroupSpec {
+  int id = 1;
+  std::vector<int> members;
+};
+
+/// Splice `local` — a p-rank schedule emitted as if the group were the
+/// whole world — into `world`, translating every event the way the
+/// group communicator's wire layer does: peers through g.members, tags
+/// through tags::group_scope(g.id, tag), request ids remapped into the
+/// destination scripts. Events land in each member's program order,
+/// after whatever that member's script already contains.
+void embed_group_schedule(Schedule& world, const Schedule& local,
+                          const GroupSpec& g);
+
+/// Communicator::barrier on a group communicator: flat gather-then-
+/// release through group rank 0 on tags::kBarrier (the world barrier is
+/// the Context's central rendezvous and posts no wire traffic).
+Schedule script_group_barrier(int p);
+
+/// The protocol one group of a partition runs concurrently with its
+/// siblings.
+enum class GroupProtocol {
+  Bcast,
+  Gather,
+  Reduce,
+  Allreduce,
+  Allgather,
+  Barrier,
+  TsqrTree,
+  Apmos,
+};
+
+const char* to_string(GroupProtocol proto);
+
+/// A full partitioned job: every group of `groups` runs its protocol
+/// concurrently on one world of `world_p` ranks, each embedded with its
+/// own tag scope. Members must be disjoint; a world rank in no group
+/// simply stays silent. `bytes` seeds the payload sizes (TSQR/APMOS
+/// derive their frames from it).
+Schedule script_partition(int world_p, std::span<const GroupSpec> groups,
+                          std::span<const GroupProtocol> protocols,
+                          std::uint64_t bytes, const CollectiveConfig& cfg);
+
+/// Per-group send totals of a schedule — the model-side mirror of the
+/// "comm.group<id>.messages" / "comm.group<id>.bytes" registry counters
+/// (pmpi bumps both on every post of group-scoped traffic).
+struct GroupTotals {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Totals keyed by group id, decoded from the scoped wire tags.
+std::map<int, GroupTotals> group_send_totals(const Schedule& s);
 
 }  // namespace parsvd::verify

@@ -64,6 +64,38 @@ SeededDefect byte_mismatch() {
   return {std::move(s), Violation::Kind::ByteMismatch};
 }
 
+/// Two concurrent jobs on one context — a world bcast and a subgroup
+/// bcast whose emitter forgot tags::group_scope. Both streams then
+/// share the channel (0 -> 1, kBcast); the jobs have no cross-ordering,
+/// so rank 1 legally services its group job first and the FIFO
+/// interleave breaks byte-exactness. With the scope applied the streams
+/// live on disjoint channels and either order is fine — this is the tag
+/// hygiene the group namespace exists for.
+SeededDefect unscoped_group_tag() {
+  Schedule s = make_schedule(
+      "bad:unscoped-group-tag (subgroup bcast missing tags::group_scope)", 4);
+  for (int dst = 1; dst < 4; ++dst) {
+    s.ranks[0].send(dst, tags::kBcast, 64, "world bcast");
+  }
+  s.ranks[0].send(1, tags::kBcast, 16, "group{0,1} bcast — UNSCOPED");
+  s.ranks[1].recv(0, tags::kBcast, 16, "group{0,1} bcast — UNSCOPED");
+  s.ranks[1].recv(0, tags::kBcast, 64, "world bcast");
+  s.ranks[2].recv(0, tags::kBcast, 64, "world bcast");
+  s.ranks[3].recv(0, tags::kBcast, 64, "world bcast");
+  return {std::move(s), Violation::Kind::ByteMismatch};
+}
+
+/// rogue_tag, group edition: a scoped wire tag inside a valid group
+/// band whose base tag no tags.hpp band reserves — scoping does not
+/// launder an ad-hoc constant into the registry.
+SeededDefect scoped_rogue_tag() {
+  Schedule s = make_schedule("bad:scoped-rogue-tag (raw tag 7 in group 2)", 2);
+  const int tag = tags::group_scope(2, 7);
+  s.ranks[0].send(1, tag, 8, "ad-hoc tag, group-scoped");
+  s.ranks[1].recv(0, tag, 8, "ad-hoc tag, group-scoped");
+  return {std::move(s), Violation::Kind::UnregisteredTag};
+}
+
 }  // namespace
 
 std::vector<SeededDefect> seeded_defects() {
@@ -73,6 +105,8 @@ std::vector<SeededDefect> seeded_defects() {
   out.push_back(cyclic_wait());
   out.push_back(channel_overlap());
   out.push_back(byte_mismatch());
+  out.push_back(unscoped_group_tag());
+  out.push_back(scoped_rogue_tag());
   return out;
 }
 

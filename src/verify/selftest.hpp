@@ -19,7 +19,9 @@ struct SeededDefect {
 };
 
 /// One schedule per detectable defect class: dropped receive, rogue tag,
-/// cyclic wait, overlapping irecv channels, byte-count disagreement.
+/// cyclic wait, overlapping irecv channels, byte-count disagreement,
+/// subgroup traffic missing its tags::group_scope, and a rogue base tag
+/// hiding inside a group-scoped band.
 std::vector<SeededDefect> seeded_defects();
 
 }  // namespace parsvd::verify

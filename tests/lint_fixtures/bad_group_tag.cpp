@@ -1,0 +1,28 @@
+// Seeded-bad fixture for the `group-tag` rule (never compiled, only
+// linted): hand-rolled group tag-namespace arithmetic outside src/pmpi.
+// Wire tags on group communicators are scoped by the Communicator
+// translation layer; callers composing scoped tags themselves can land
+// in a sibling group's band or double-scope an already-scoped tag.
+#include <vector>
+
+#include "pmpi/comm.hpp"
+
+namespace fixture {
+
+void hand_rolled_group_scope(parsvd::pmpi::Communicator& comm) {
+  const std::vector<double> v{1.0};
+  // BAD: composing the scoped wire tag by hand instead of passing the
+  // group-local tag to a group communicator.
+  const int wire = parsvd::pmpi::tags::group_scope(2, 1024);
+  comm.send<double>(v, 1, wire);
+  // BAD: reproducing the band arithmetic from the raw constants.
+  const int band = -(parsvd::pmpi::tags::kGroupScopedBase +
+                     3 * parsvd::pmpi::tags::kGroupSpan +
+                     parsvd::pmpi::tags::kGroupTagBias);
+  comm.send<double>(v, 1, band);
+  // BAD: decoding a wire tag in application code.
+  const int owner = parsvd::pmpi::tags::scoped_group(wire);
+  (void)owner;
+}
+
+}  // namespace fixture

@@ -9,7 +9,9 @@
 //     behaviour shows up here as a count or volume mismatch.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <numeric>
 #include <vector>
@@ -62,9 +64,100 @@ TEST(VerifyNegative, TagRegistry) {
   EXPECT_FALSE(tag_registered(0));
   EXPECT_FALSE(tag_registered(7));
   EXPECT_FALSE(tag_registered(-1));
-  EXPECT_FALSE(tag_registered(-11));
+  // kBarrier is wire traffic only inside a group's scoped band; the
+  // world barrier is the context's central rendezvous.
+  EXPECT_FALSE(tag_registered(pmpi::tags::kBarrier));
   EXPECT_FALSE(tag_registered(pmpi::tags::kApmosGatherBase +
                               pmpi::tags::kRangeWidth));
+}
+
+TEST(VerifyNegative, TagRegistryGroupScoped) {
+  namespace tags = pmpi::tags;
+  // A group band holds the group's whole local tag space...
+  EXPECT_TRUE(tag_registered(tags::group_scope(1, tags::kBcast)));
+  EXPECT_TRUE(tag_registered(tags::group_scope(1, tags::kBarrier)));
+  EXPECT_TRUE(tag_registered(tags::group_scope(3, tags::tsqr_up(12))));
+  EXPECT_TRUE(tag_registered(tags::group_scope(3, tags::apmos_w())));
+  EXPECT_TRUE(tag_registered(tags::group_scope(7, tags::kUserBase)));
+  EXPECT_TRUE(tag_registered(
+      tags::group_scope(tags::kMaxGroups, tags::kGroupUserLimit - 1)));
+  // ...but scoping does not launder unregistered base tags, and band
+  // offsets past the last mintable group are rejected.
+  EXPECT_FALSE(tag_registered(tags::group_scope(1, 0)));
+  EXPECT_FALSE(tag_registered(tags::group_scope(2, 7)));
+  EXPECT_FALSE(tag_registered(
+      tags::group_scope(1, tags::kApmosGatherBase + tags::kRangeWidth)));
+  EXPECT_FALSE(tag_registered(
+      tags::group_scope(tags::kMaxGroups + 1, tags::kBcast)));
+}
+
+// ------------------------------------------------------ group schedules
+
+TEST(VerifyGroups, EmbedTranslatesPeersAndScopesTags) {
+  const Schedule local = script_bcast(2, 0, 48, CollectiveConfig{});
+  Schedule world = make_schedule("embed test", 4);
+  const GroupSpec g{2, {3, 1}};  // group rank 0 -> world 3, 1 -> world 1
+  embed_group_schedule(world, local, g);
+  // World ranks 0 and 2 stay silent.
+  EXPECT_TRUE(world.ranks[0].events().empty());
+  EXPECT_TRUE(world.ranks[2].events().empty());
+  ASSERT_EQ(world.ranks[3].events().size(), 1u);
+  ASSERT_EQ(world.ranks[1].events().size(), 1u);
+  const CommEvent& send = world.ranks[3].events()[0];
+  const CommEvent& recv = world.ranks[1].events()[0];
+  EXPECT_EQ(send.kind, CommEvent::Kind::Send);
+  EXPECT_EQ(send.peer, 1);  // group rank 1, translated
+  EXPECT_EQ(send.tag, pmpi::tags::group_scope(2, pmpi::tags::kBcast));
+  EXPECT_EQ(recv.kind, CommEvent::Kind::Recv);
+  EXPECT_EQ(recv.peer, 3);
+  EXPECT_EQ(recv.tag, send.tag);
+  EXPECT_TRUE(check_schedule(world).ok());
+}
+
+TEST(VerifyGroups, PartitionSchedulesPass) {
+  const CollectiveConfig cfg;
+  // Interleaved membership plus a bystander world rank (8 is in no
+  // group): the checker must prove the whole choreography.
+  const std::vector<GroupSpec> groups{
+      {1, {0, 2, 4, 6}},
+      {2, {1, 3, 5, 7}},
+  };
+  const std::vector<GroupProtocol> protos{GroupProtocol::TsqrTree,
+                                          GroupProtocol::Allreduce};
+  const Schedule s = script_partition(9, groups, protos, 512, cfg);
+  const CheckReport report = check_schedule(s);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_TRUE(s.ranks[8].events().empty());
+  // Totals decode per group and cover every send in the schedule.
+  const std::map<int, GroupTotals> totals = group_send_totals(s);
+  ASSERT_EQ(totals.size(), 2u);
+  std::uint64_t all_messages = 0;
+  std::uint64_t all_bytes = 0;
+  for (const CommScript& script : s.ranks) {
+    for (const CommEvent& e : script.events()) {
+      if (e.kind == CommEvent::Kind::Send) {
+        ++all_messages;
+        all_bytes += e.bytes;
+      }
+    }
+  }
+  std::uint64_t msg_sum = 0;
+  std::uint64_t byte_sum = 0;
+  for (const auto& [id, t] : totals) {
+    EXPECT_GT(t.messages, 0u) << "group " << id;
+    msg_sum += t.messages;
+    byte_sum += t.bytes;
+  }
+  EXPECT_EQ(msg_sum, all_messages);
+  EXPECT_EQ(byte_sum, all_bytes);
+}
+
+TEST(VerifyGroups, OverlappingPartitionRejected) {
+  const std::vector<GroupSpec> groups{{1, {0, 1}}, {2, {1, 2}}};
+  const std::vector<GroupProtocol> protos{GroupProtocol::Bcast,
+                                          GroupProtocol::Bcast};
+  EXPECT_THROW(script_partition(3, groups, protos, 8, CollectiveConfig{}),
+               Error);
 }
 
 // ------------------------------------------------------ cross-validation
@@ -275,6 +368,109 @@ TEST(VerifyCrossValidation, MetricsRegistryTotals) {
     // And the legacy accessors must read the same registry, not a copy.
     EXPECT_EQ(ctx->total_messages(), t.messages);
     EXPECT_EQ(ctx->total_bytes(), t.bytes);
+  }
+}
+
+// Two concurrent jobs on disjoint subgroups of one context: the model
+// is the world schedule with each group's local protocol embedded into
+// its scoped tag band. Pins (a) the per-group registry series
+// "comm.group<id>.messages"/"comm.group<id>.bytes" to the model's
+// per-band send totals and (b) the world totals to their sum —
+// subgroup() is purely local, so group traffic is ALL the traffic.
+TEST(VerifyCrossValidation, GroupRegistryTotals) {
+  constexpr int p = 8;
+  constexpr Index k = 4;
+  constexpr std::size_t n = 64;  // allreduce payload, doubles
+  const std::array<int, 4> evens{0, 2, 4, 6};
+  const std::array<int, 4> odds{1, 3, 5, 7};
+  for (const CollectiveConfig& cfg : cross_configs()) {
+    // Model: group 1 (evens) runs a tree TSQR, group 2 (odds) an
+    // allreduce followed by a group barrier.
+    Schedule s = make_schedule("two subgroup jobs", p);
+    embed_group_schedule(s, script_tsqr_tree(4, k, cfg),
+                         GroupSpec{1, {evens.begin(), evens.end()}});
+    const GroupSpec odd_spec{2, {odds.begin(), odds.end()}};
+    embed_group_schedule(s, script_allreduce(4, n * sizeof(double), cfg),
+                         odd_spec);
+    embed_group_schedule(s, script_group_barrier(4), odd_spec);
+    const CheckReport report = check_schedule(s);
+    ASSERT_TRUE(report.ok()) << report.to_string();
+
+    // Reality: pre-mint the groups in a fixed order so ids are stable,
+    // then run both jobs concurrently on one context.
+    auto ctx = make_ctx(p, cfg);
+    ctx->group_for({evens.begin(), evens.end()});
+    ctx->group_for({odds.begin(), odds.end()});
+    pmpi::run_on(ctx, [&](pmpi::Communicator& comm) {
+      if (comm.rank() % 2 == 0) {
+        auto sub = comm.subgroup(evens);
+        ASSERT_TRUE(sub.has_value());
+        Matrix a(8, k);  // local rows >= k, the tree precondition
+        for (Index i = 0; i < a.size(); ++i) {
+          a.data()[i] =
+              0.1 * static_cast<double>((i * 7 + sub->rank() * 13) % 23) +
+              1.0;
+        }
+        tsqr(*sub, a, TsqrVariant::Tree);
+      } else {
+        auto sub = comm.subgroup(odds);
+        ASSERT_TRUE(sub.has_value());
+        std::vector<double> v(n, 1.0);
+        sub->allreduce(v, pmpi::Op::Sum);
+        sub->barrier();
+      }
+    });
+
+    const std::map<int, GroupTotals> model = group_send_totals(s);
+    ASSERT_EQ(model.size(), 2u);
+    obs::Registry& reg = ctx->metrics();
+    std::uint64_t msg_sum = 0;
+    std::uint64_t byte_sum = 0;
+    for (const auto& [id, t] : model) {
+      const std::string prefix = "comm.group" + std::to_string(id);
+      EXPECT_EQ(reg.counter(prefix + ".messages").value(), t.messages)
+          << s.name << " group " << id;
+      EXPECT_EQ(reg.counter(prefix + ".bytes").value(), t.bytes)
+          << s.name << " group " << id;
+      msg_sum += t.messages;
+      byte_sum += t.bytes;
+    }
+    EXPECT_EQ(ctx->total_messages(), msg_sum) << s.name;
+    EXPECT_EQ(ctx->total_bytes(), byte_sum) << s.name;
+  }
+}
+
+TEST(VerifyCrossValidation, GroupBarrierTotals) {
+  // The flat gather+release barrier: 2(p-1) zero-byte messages.
+  for (const int p : kRankCounts) {
+    const Schedule local = script_group_barrier(p);
+    Schedule world = make_schedule("group barrier", p);
+    std::vector<int> members(static_cast<std::size_t>(p));
+    std::iota(members.begin(), members.end(), 0);
+    embed_group_schedule(world, local, GroupSpec{1, members});
+    const CheckReport report = check_schedule(world);
+    ASSERT_TRUE(report.ok()) << report.to_string();
+
+    const CollectiveConfig cfg;
+    auto ctx = make_ctx(p, cfg);
+    ctx->group_for(members);
+    pmpi::run_on(ctx, [&members](pmpi::Communicator& comm) {
+      auto sub = comm.subgroup(members);
+      ASSERT_TRUE(sub.has_value());
+      sub->barrier();
+    });
+    const std::map<int, GroupTotals> model = group_send_totals(world);
+    const std::uint64_t expect_msgs =
+        p > 1 ? 2u * static_cast<std::uint64_t>(p - 1) : 0u;
+    if (p > 1) {
+      ASSERT_EQ(model.size(), 1u);
+      EXPECT_EQ(model.at(1).messages, expect_msgs);
+      EXPECT_EQ(model.at(1).bytes, 0u);
+    } else {
+      EXPECT_TRUE(model.empty());
+    }
+    EXPECT_EQ(ctx->total_messages(), expect_msgs) << "p=" << p;
+    EXPECT_EQ(ctx->total_bytes(), 0u) << "p=" << p;
   }
 }
 

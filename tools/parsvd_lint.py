@@ -29,6 +29,16 @@ Rules
                  documented seed-split discipline holds. Scope: src/,
                  bench/, examples/.
 
+  group-tag      Hand-rolled group tag-namespace arithmetic
+                 (tags::group_scope / scoped_group / unscoped or the
+                 kGroupScopedBase / kGroupSpan / kGroupTagBias constants)
+                 outside src/pmpi and src/verify. Group communicators
+                 scope every wire tag internally; callers composing
+                 scoped tags by hand can collide with a sibling group's
+                 band or double-scope a tag. The verify model is exempt
+                 because it must mirror the wire encoding exactly.
+                 Scope: src/, bench/, examples/.
+
   wall-clock     Wall-clock APIs (std::time, gmtime, localtime,
                  strftime, system_clock) in library or bench sources.
                  Bench JSON must be bit-reproducible run-to-run so CI
@@ -232,6 +242,44 @@ def rule_raw_rng(path: pathlib.Path, text: str, findings: list) -> None:
              "reproducible and follow the seed-split discipline"))
 
 
+# ---------------------------------------------------------- rule: group-tag
+
+GROUP_TAG_ARITH = re.compile(
+    r"\b(group_scope\s*\(|scoped_group\s*\(|unscoped\s*\(|"
+    r"kGroupScopedBase\b|kGroupSpan\b|kGroupTagBias\b)")
+
+# The wire layer itself (src/pmpi) and the static model that must mirror
+# its tag encoding (src/verify) are the only sanctioned users.
+GROUP_TAG_EXEMPT_DIRS = {"pmpi", "verify"}
+
+
+def group_tag_exempt(path: pathlib.Path, root) -> bool:
+    if root is None:
+        return False
+    try:
+        parts = path.resolve().relative_to(root).parts
+    except ValueError:
+        return False
+    return len(parts) >= 2 and parts[0] == "src" and \
+        parts[1] in GROUP_TAG_EXEMPT_DIRS
+
+
+def rule_group_tag(path: pathlib.Path, text: str, findings: list,
+                   root=None) -> None:
+    if group_tag_exempt(path, root):
+        return
+    clean = strip_comments(text)
+    for m in GROUP_TAG_ARITH.finditer(clean):
+        line = clean.count("\n", 0, m.start()) + 1
+        token = m.group(1).strip().rstrip("(").strip()
+        findings.append(
+            (path, line, "group-tag",
+             f"group tag-namespace arithmetic '{token}' outside src/pmpi "
+             "and src/verify; group communicators scope wire tags "
+             "internally — pass the group-local tag and let the "
+             "Communicator translation layer relocate it"))
+
+
 # --------------------------------------------------------- rule: wall-clock
 
 WALL_CLOCK = re.compile(
@@ -296,6 +344,7 @@ def main(argv) -> int:
             rule_raw_tag(path, text, findings)
             rule_pipelined(path, text, findings)
             rule_raw_rng(path, text, findings)
+            rule_group_tag(path, text, findings)
             rule_wall_clock(path, text, findings)
         rule_env_registry(args.files, readme, findings)
     else:
@@ -306,6 +355,7 @@ def main(argv) -> int:
             text = path.read_text(encoding="utf-8", errors="replace")
             rule_raw_tag(path, text, findings)
             rule_raw_rng(path, text, findings)
+            rule_group_tag(path, text, findings, root)
         for path in src:
             rule_pipelined(
                 path, path.read_text(encoding="utf-8", errors="replace"),
