@@ -1,47 +1,67 @@
 // Dense-kernel microbenchmark — the repo's machine-readable perf
-// trajectory for the level-3 kernel engine (gemm / blocked QR / gram /
-// gemv). Times each kernel across sizes and thread counts, compares the
-// packed GEMM against a faithful copy of the pre-engine ("seed") kernel,
-// and persists everything to BENCH_kernels.json so later perf PRs are
-// measured against a recorded baseline.
+// trajectory for the level-3 kernel engine (gemm fp64/fp32 / blocked QR /
+// gram / gemv) and the mixed-precision randomized-SVD path. Times each
+// kernel across sizes and thread counts, compares the packed GEMM against
+// a faithful copy of the pre-engine ("seed") kernel, and persists
+// everything to BENCH_kernels.json so later perf PRs are measured against
+// a recorded baseline.
 //
 // Usage:
-//   bench_kernels            full sweep, writes BENCH_kernels.json
-//   bench_kernels --smoke    tiny sizes, asserts kernel-vs-reference
-//                            agreement and nonzero throughput (ctest hook)
-//   bench_kernels --out=F    write the JSON trajectory to F
-//   PARSVD_BENCH_OUT=F       same as --out=F
+//   bench_kernels              full sweep, writes BENCH_kernels.json
+//   bench_kernels --smoke      tiny sizes, asserts kernel-vs-reference
+//                              agreement and nonzero throughput (ctest
+//                              hook); the full-size claim fields are
+//                              emitted as JSON null — never as fake zeros
+//   bench_kernels --tune       run the autotune sweep first, persist the
+//                              winning profile, and record the
+//                              tuned-vs-default deltas in the JSON
+//   bench_kernels --tune-out=F write the tuned profile to F
+//                              (default parsvd_tune.json)
+//   bench_kernels --out=F      write the JSON trajectory to F
+//   PARSVD_BENCH_OUT=F         same as --out=F
 //
-// JSON schema (schema_version 1):
+// JSON schema (schema_version 2):
 //   { bench, schema_version, smoke, hardware_concurrency,
-//     blocking: {mc, kc, nc, mr, nr, qr_block},
-//     results: [ {kernel, m, n, k, threads, seconds, gflops} ... ],
+//     blocking: {f64: {mc..nr}, f32: {mc..nr}, qr_block, tuned},
+//     results: [ {kernel, m, n, k, threads, seconds, gflops, flops} ... ],
+//     autotune: null | {probe_size, f64: {...}, f32: {...}, qr: {...}},
 //     gemm_512_seed_seconds, gemm_512_packed_seconds,
-//     gemm_512_speedup_vs_seed }
-// `seconds` is the best of the timed repetitions; `gflops` uses the
-// standard flop counts (2mnk for gemm, 2mn^2 - 2n^3/3 for QR, mn^2 for
-// gram, 2mn for gemv).
+//     gemm_512_speedup_vs_seed, gemm_f32_512_seconds,
+//     gemm_f32_512_speedup_vs_f64, mixed_rsvd_double_seconds,
+//     mixed_rsvd_mixed_seconds, mixed_rsvd_speedup,
+//     mixed_rsvd_sigma_rel_err, single_rsvd_sigma_rel_err, failures }
+// Claim fields are numbers in a full run and null in smoke runs (the
+// smoke sizes cannot support the claims). `seconds` is the best of the
+// timed repetitions; `flops` is the deterministic per-shape flop model
+// the CI checker compares exactly across runs.
 
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/randomized.hpp"
+#include "linalg/autotune.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/qr.hpp"
 #include "support/env.hpp"
 #include "support/rng.hpp"
 #include "support/thread_pool.hpp"
 #include "support/timer.hpp"
+#include "workloads/lowrank.hpp"
 
 namespace {
 
 using parsvd::HouseholderQr;
 using parsvd::Index;
 using parsvd::Matrix;
+using parsvd::MatrixF;
+using parsvd::Precision;
+using parsvd::RandomizedOptions;
 using parsvd::Rng;
 using parsvd::Trans;
 using parsvd::Vector;
@@ -120,6 +140,7 @@ struct Result {
   int threads;
   double seconds;
   double gflops;
+  double flops;  // deterministic per-shape model, for the CI checker
 };
 
 // Best-of-reps wall time: repeat until >= 0.2 s of samples (min 3 reps).
@@ -147,7 +168,7 @@ class Harness {
   void record(const std::string& kernel, Index m, Index n, Index k,
               int threads, double seconds, double flops) {
     const double gflops = (seconds > 0.0) ? flops / seconds * 1e-9 : 0.0;
-    results_.push_back({kernel, m, n, k, threads, seconds, gflops});
+    results_.push_back({kernel, m, n, k, threads, seconds, gflops, flops});
     std::printf("%-12s m=%-6td n=%-6td k=%-6td threads=%-2d  %10.4f ms  %8.2f GFLOP/s\n",
                 kernel.c_str(), m, n, k, threads, seconds * 1e3, gflops);
     if (seconds <= 0.0 || gflops <= 0.0) {
@@ -168,8 +189,16 @@ class Harness {
   const std::vector<Result>& results() const { return results_; }
   bool smoke() const { return smoke_; }
 
-  double seed_512_seconds = 0.0;
-  double packed_512_seconds = 0.0;
+  // Full-size claim measurements; unset (emitted as null) in smoke runs.
+  std::optional<double> seed_512_seconds;
+  std::optional<double> packed_512_seconds;
+  std::optional<double> f32_512_seconds;
+  std::optional<double> rsvd_double_seconds;
+  std::optional<double> rsvd_mixed_seconds;
+  std::optional<double> rsvd_sigma_rel_err;
+  std::optional<double> rsvd_single_sigma_rel_err;
+
+  std::optional<parsvd::autotune::SweepResult> tune;
 
  private:
   bool smoke_;
@@ -179,12 +208,22 @@ class Harness {
 
 // ---------------------------------------------------------------- benches
 
-void record_gemm(Harness& h, const std::string& name, Index s, double sec,
-                 int threads);
+double cube_flops(Index s) {
+  return 2.0 * static_cast<double>(s) * static_cast<double>(s) *
+         static_cast<double>(s);
+}
 
+void record_gemm(Harness& h, const std::string& name, Index s, double sec,
+                 int threads) {
+  h.record(name, s, s, s, threads, sec, cube_flops(s));
+}
+
+// Full runs repeat the smoke shapes (cheap) so a fresh smoke run and the
+// committed full trajectory always share entries for the CI flop-model
+// comparison.
 void bench_gemm(Harness& h) {
-  const std::vector<Index> sizes = h.smoke() ? std::vector<Index>{64}
-                                             : std::vector<Index>{128, 256, 512};
+  const std::vector<Index> sizes =
+      h.smoke() ? std::vector<Index>{64} : std::vector<Index>{64, 128, 256, 512};
   const std::vector<int> threads = h.smoke() ? std::vector<int>{1}
                                              : std::vector<int>{1, 2, 4};
   for (const Index s : sizes) {
@@ -202,41 +241,52 @@ void bench_gemm(Harness& h) {
   }
   parsvd::ThreadPool::set_global_threads(1);
 
-  // Transposed operands route through the same packed kernel: record one
-  // point so regressions on the strided path show up in the trajectory.
-  const Index ts = h.smoke() ? 48 : 384;
-  const Matrix at = random_matrix(ts, ts, 3);
-  const Matrix bt = random_matrix(ts, ts, 4);
-  Matrix ct(ts, ts);
-  const double sec_tn = time_best([&] {
-    parsvd::gemm(Trans::Yes, Trans::No, 1.0, at, bt, 0.0, ct);
-  });
-  record_gemm(h, "gemm_tn", ts, sec_tn, 1);
-  const double sec_nt = time_best([&] {
-    parsvd::gemm(Trans::No, Trans::Yes, 1.0, at, bt, 0.0, ct);
-  });
-  record_gemm(h, "gemm_nt", ts, sec_nt, 1);
+  // Transposed operands route through the same packed kernel: record
+  // points so regressions on the strided path show up in the trajectory.
+  const std::vector<Index> tsizes =
+      h.smoke() ? std::vector<Index>{48} : std::vector<Index>{48, 384};
+  for (const Index ts : tsizes) {
+    const Matrix at = random_matrix(ts, ts, 3);
+    const Matrix bt = random_matrix(ts, ts, 4);
+    Matrix ct(ts, ts);
+    const double sec_tn = time_best([&] {
+      parsvd::gemm(Trans::Yes, Trans::No, 1.0, at, bt, 0.0, ct);
+    });
+    record_gemm(h, "gemm_tn", ts, sec_tn, 1);
+    const double sec_nt = time_best([&] {
+      parsvd::gemm(Trans::No, Trans::Yes, 1.0, at, bt, 0.0, ct);
+    });
+    record_gemm(h, "gemm_nt", ts, sec_nt, 1);
+  }
 
   // Seed-kernel comparison (single thread, same build flags).
-  const Index cs = h.smoke() ? 64 : 512;
-  const Matrix a0 = random_matrix(cs, cs, 5);
-  const Matrix b0 = random_matrix(cs, cs, 6);
-  Matrix c0(cs, cs);
-  const double sec_seed = time_best([&] {
-    gemm_seed(Trans::No, Trans::No, 1.0, a0, b0, 0.0, c0);
-  });
-  record_gemm(h, "gemm_seed", cs, sec_seed, 1);
-  if (cs == 512) h.seed_512_seconds = sec_seed;
+  const std::vector<Index> csizes =
+      h.smoke() ? std::vector<Index>{64} : std::vector<Index>{64, 512};
+  for (const Index cs : csizes) {
+    const Matrix a0 = random_matrix(cs, cs, 5);
+    const Matrix b0 = random_matrix(cs, cs, 6);
+    Matrix c0(cs, cs);
+    const double sec_seed = time_best([&] {
+      gemm_seed(Trans::No, Trans::No, 1.0, a0, b0, 0.0, c0);
+    });
+    record_gemm(h, "gemm_seed", cs, sec_seed, 1);
+    if (cs == 512) h.seed_512_seconds = sec_seed;
+  }
 }
 
-void record_gemm(Harness& h, const std::string& name, Index s, double sec,
-                 int threads);
-
-void record_gemm(Harness& h, const std::string& name, Index s, double sec,
-                 int threads) {
-  const double flops = 2.0 * static_cast<double>(s) * static_cast<double>(s) *
-                       static_cast<double>(s);
-  h.record(name, s, s, s, threads, sec, flops);
+void bench_gemm_f32(Harness& h) {
+  const std::vector<Index> sizes =
+      h.smoke() ? std::vector<Index>{64} : std::vector<Index>{64, 256, 512};
+  for (const Index s : sizes) {
+    const MatrixF a = parsvd::to_single(random_matrix(s, s, 11));
+    const MatrixF b = parsvd::to_single(random_matrix(s, s, 12));
+    MatrixF c(s, s);
+    const double sec = time_best([&] {
+      parsvd::gemm_f32(Trans::No, Trans::No, 1.0f, a, b, 0.0f, c);
+    });
+    record_gemm(h, "gemm_f32", s, sec, 1);
+    if (s == 512) h.f32_512_seconds = sec;
+  }
 }
 
 void bench_qr(Harness& h) {
@@ -245,7 +295,8 @@ void bench_qr(Harness& h) {
   };
   const std::vector<Shape> shapes = h.smoke()
                                         ? std::vector<Shape>{{96, 24}}
-                                        : std::vector<Shape>{{2048, 128},
+                                        : std::vector<Shape>{{96, 24},
+                                                             {2048, 128},
                                                              {8192, 64},
                                                              {512, 512}};
   for (const Shape s : shapes) {
@@ -268,7 +319,8 @@ void bench_gram(Harness& h) {
   };
   const std::vector<Shape> shapes = h.smoke()
                                         ? std::vector<Shape>{{80, 24}}
-                                        : std::vector<Shape>{{8192, 256},
+                                        : std::vector<Shape>{{80, 24},
+                                                             {8192, 256},
                                                              {2048, 512}};
   const std::vector<int> threads = h.smoke() ? std::vector<int>{1}
                                              : std::vector<int>{1, 4};
@@ -286,24 +338,132 @@ void bench_gram(Harness& h) {
 }
 
 void bench_gemv(Harness& h) {
-  const Index m = h.smoke() ? 96 : 4096;
-  const Index n = h.smoke() ? 40 : 2048;
-  const Matrix a = random_matrix(m, n, 9);
-  Vector x(n), y(m);
-  Rng rng(10);
-  for (Index i = 0; i < n; ++i) x[i] = rng.gaussian();
-  const double flops = 2.0 * static_cast<double>(m) * static_cast<double>(n);
-  const double sec_n = time_best([&] {
-    parsvd::gemv(Trans::No, 1.0, a, x.span(), 0.0, y.span());
-  });
-  h.record("gemv", m, n, 0, 1, sec_n, flops);
+  struct Shape {
+    Index m, n;
+  };
+  const std::vector<Shape> shapes = h.smoke()
+                                        ? std::vector<Shape>{{96, 40}}
+                                        : std::vector<Shape>{{96, 40},
+                                                             {4096, 2048}};
+  for (const Shape s : shapes) {
+    const Matrix a = random_matrix(s.m, s.n, 9);
+    Vector x(s.n), y(s.m);
+    Rng rng(10);
+    for (Index i = 0; i < s.n; ++i) x[i] = rng.gaussian();
+    const double flops =
+        2.0 * static_cast<double>(s.m) * static_cast<double>(s.n);
+    const double sec_n = time_best([&] {
+      parsvd::gemv(Trans::No, 1.0, a, x.span(), 0.0, y.span());
+    });
+    h.record("gemv", s.m, s.n, 0, 1, sec_n, flops);
 
-  Vector xt(m), yt(n);
-  for (Index i = 0; i < m; ++i) xt[i] = rng.gaussian();
-  const double sec_t = time_best([&] {
-    parsvd::gemv(Trans::Yes, 1.0, a, xt.span(), 0.0, yt.span());
-  });
-  h.record("gemv_t", m, n, 0, 1, sec_t, flops);
+    Vector xt(s.m), yt(s.n);
+    for (Index i = 0; i < s.m; ++i) xt[i] = rng.gaussian();
+    const double sec_t = time_best([&] {
+      parsvd::gemv(Trans::Yes, 1.0, a, xt.span(), 0.0, yt.span());
+    });
+    h.record("gemv_t", s.m, s.n, 0, 1, sec_t, flops);
+  }
+}
+
+// Flop model of one randomized SVD: sketch apply + power iterations +
+// projection + lift, all through the range width sk = rank + oversampling.
+double rsvd_flops(Index m, Index n, Index rank, Index oversampling,
+                  int power) {
+  const double mm = static_cast<double>(m);
+  const double nn = static_cast<double>(n);
+  const double sk =
+      static_cast<double>(std::min(rank + oversampling, std::min(m, n)));
+  return 2.0 * mm * nn * sk * (2.0 + 2.0 * power) +
+         2.0 * mm * sk * static_cast<double>(rank);
+}
+
+// End-to-end mixed-precision randomized SVD: the acceptance case is
+// 4096x2048 at rank 64 (fp64 vs mixed wall time, plus the refined
+// singular-value agreement). Smoke shrinks the problem and only checks
+// agreement — the claim fields stay null.
+void bench_mixed_rsvd(Harness& h) {
+  struct Case {
+    Index m, n, rank, spectrum_len;
+    bool claim;  // the acceptance shape whose numbers feed the claims
+  };
+  const std::vector<Case> cases =
+      h.smoke() ? std::vector<Case>{{192, 96, 8, 24, false}}
+                : std::vector<Case>{{192, 96, 8, 24, false},
+                                    {4096, 2048, 64, 128, true}};
+  for (const Case c : cases) {
+    RandomizedOptions opts;
+    opts.rank = c.rank;
+    opts.oversampling = 8;
+    opts.power_iterations = 2;
+    opts.seed = 0xbe7c;
+    opts.sketch_kind = parsvd::sketch::SketchKind::DenseGaussian;
+
+    Rng rng(0x5eedf00d);
+    // POD-like spiked spectrum: gentle geometric decay across the modes
+    // the sketch captures, then a 1e-3 energy drop past the sketch width
+    // (snapshot matrices of dissipative PDEs decay this way — compare the
+    // Burgers spectra in tests/test_precision.cpp). The boundary gap is
+    // what makes a fixed power-iteration count converge at all, and it is
+    // what the Mixed refinement's final fp64 iteration contracts the fp32
+    // subspace noise against; a gapless tail would measure the spectrum's
+    // unresolvability, not the precision regimes.
+    const Index sk = c.rank + opts.oversampling;
+    Vector spectrum(c.spectrum_len);
+    for (Index i = 0; i < c.spectrum_len; ++i) {
+      spectrum[i] = i < sk ? std::pow(0.97, static_cast<double>(i))
+                           : 1e-3 * std::pow(0.97, static_cast<double>(sk)) *
+                                 std::pow(0.9, static_cast<double>(i - sk));
+    }
+    const Matrix a =
+        parsvd::workloads::synthetic_low_rank(c.m, c.n, spectrum, rng);
+    const double flops =
+        rsvd_flops(c.m, c.n, opts.rank, opts.oversampling,
+                   opts.power_iterations);
+
+    RandomizedOptions od = opts;
+    od.precision = Precision::Double;
+    RandomizedOptions om = opts;
+    om.precision = Precision::Mixed;
+    RandomizedOptions os = opts;
+    os.precision = Precision::Single;
+
+    // Accuracy first (one run each, identical seeds → identical sketches).
+    const parsvd::SvdResult fd = parsvd::randomized_svd(a, od);
+    const parsvd::SvdResult fm = parsvd::randomized_svd(a, om);
+    const parsvd::SvdResult fs = parsvd::randomized_svd(a, os);
+    double mixed_err = 0.0, single_err = 0.0;
+    for (Index i = 0; i < fd.s.size(); ++i) {
+      mixed_err = std::max(mixed_err, std::abs(fm.s[i] - fd.s[i]) / fd.s[i]);
+      single_err = std::max(single_err, std::abs(fs.s[i] - fd.s[i]) / fd.s[i]);
+    }
+    std::printf("rsvd %tdx%td sigma rel err: mixed %.3e  single %.3e\n", c.m,
+                c.n, mixed_err, single_err);
+    // The refinement contract holds at every size — gate it in smoke too.
+    h.check(mixed_err < 1e-10,
+            "mixed-path singular values drifted beyond 1e-10 of fp64");
+
+    const double sec_d = time_best([&] {
+      parsvd::SvdResult r = parsvd::randomized_svd(a, od);
+    });
+    h.record("rsvd_double", c.m, c.n, opts.rank, 1, sec_d, flops);
+    const double sec_m = time_best([&] {
+      parsvd::SvdResult r = parsvd::randomized_svd(a, om);
+    });
+    h.record("rsvd_mixed", c.m, c.n, opts.rank, 1, sec_m, flops);
+    const double sec_s = time_best([&] {
+      parsvd::SvdResult r = parsvd::randomized_svd(a, os);
+    });
+    h.record("rsvd_single", c.m, c.n, opts.rank, 1, sec_s, flops);
+
+    if (c.claim) {
+      h.rsvd_double_seconds = sec_d;
+      h.rsvd_mixed_seconds = sec_m;
+      h.rsvd_sigma_rel_err = mixed_err;
+      h.rsvd_single_sigma_rel_err = single_err;
+      std::printf("rsvd mixed speedup vs double: %.2fx\n", sec_d / sec_m);
+    }
+  }
 }
 
 // ------------------------------------------------------- smoke validation
@@ -325,6 +485,12 @@ void smoke_checks(Harness& h) {
                        (tb == Trans::No) ? b : b.transposed());
       h.check(parsvd::max_abs_diff(got, want) < 1e-10,
               "gemm combo " + std::to_string(combo) + " disagrees with reference");
+      // fp32 engine on the same operands: same structure, fp32 tolerance.
+      const MatrixF got32 = parsvd::matmul_f32(parsvd::to_single(a),
+                                               parsvd::to_single(b), ta, tb);
+      h.check(parsvd::max_abs_diff(parsvd::to_double(got32), want) < 1e-3,
+              "gemm_f32 combo " + std::to_string(combo) +
+                  " disagrees with reference");
     }
   }
   // Packed GEMM vs the seed kernel on a size that engages packing.
@@ -335,6 +501,30 @@ void smoke_checks(Harness& h) {
     parsvd::gemm(Trans::No, Trans::No, 1.0, a, b, 0.0, c1);
     gemm_seed(Trans::No, Trans::No, 1.0, a, b, 0.0, c2);
     h.check(parsvd::max_abs_diff(c1, c2) < 1e-10, "packed gemm vs seed gemm");
+
+    MatrixF c3(70, 60);
+    parsvd::gemm_f32(Trans::No, Trans::No, 1.0f, parsvd::to_single(a),
+                     parsvd::to_single(b), 0.0f, c3);
+    h.check(parsvd::max_abs_diff(parsvd::to_double(c3), c2) < 1e-3,
+            "packed gemm_f32 vs seed gemm");
+  }
+  // Compensated dot recovers a catastrophically cancelled sum exactly.
+  {
+    const std::vector<double> x = {1e9, 1.5, 1e9};
+    const std::vector<double> y = {1e8, 2.0, -1e8};
+    // products are [1e17, 3, -1e17]; naive fp64 rounds 1e17 + 3 to 1e17
+    // and returns 0, Dot2 keeps the 3 exactly.
+    h.check(parsvd::dot_compensated(x, y) == 3.0,
+            "dot_compensated failed the cancellation fixture");
+  }
+  // Compensated Gram carries the same exactness through AᵀA.
+  {
+    Matrix a(3, 2);
+    a(0, 0) = 1e9;  a(1, 0) = 1.5;  a(2, 0) = 1e9;
+    a(0, 1) = 1e8;  a(1, 1) = 2.0;  a(2, 1) = -1e8;
+    const Matrix g = parsvd::gram_compensated(a);
+    h.check(g(0, 1) == 3.0 && g(1, 0) == 3.0,
+            "gram_compensated failed the cancellation fixture");
   }
   // Blocked QR vs the unblocked reference sweep.
   {
@@ -374,7 +564,53 @@ void smoke_checks(Harness& h) {
   std::printf("smoke checks: %s\n", h.failures() == 0 ? "ok" : "FAILED");
 }
 
+// ---------------------------------------------------------------- tuning
+
+void run_tune(Harness& h, const std::string& profile_out) {
+  std::printf("autotune sweep (%s)...\n", h.smoke() ? "smoke" : "full");
+  parsvd::autotune::SweepResult sweep = parsvd::autotune::sweep(h.smoke());
+  parsvd::autotune::save_profile(sweep.profile, profile_out);
+  std::printf("wrote %s\n", profile_out.c_str());
+  auto report = [](const char* name, const parsvd::autotune::SweepEntry& e) {
+    std::printf(
+        "tune %-4s best mc=%td kc=%td nc=%td mr=%td nr=%td  "
+        "%.4f ms vs default %.4f ms (%.2fx, %d candidates)\n",
+        name, e.best.mc, e.best.kc, e.best.nc, e.best.mr, e.best.nr,
+        e.best_seconds * 1e3, e.default_seconds * 1e3,
+        (e.best_seconds > 0.0) ? e.default_seconds / e.best_seconds : 0.0,
+        e.candidates);
+  };
+  report("f64", sweep.f64);
+  report("f32", sweep.f32);
+  std::printf("tune qr   best block=%td  %.4f ms vs default %.4f ms\n",
+              sweep.profile.qr_block, sweep.qr_best_seconds * 1e3,
+              sweep.qr_default_seconds * 1e3);
+  h.check(sweep.f64.best_seconds <= sweep.f64.default_seconds,
+          "autotune f64 winner slower than the default blocking");
+  h.check(sweep.f32.best_seconds <= sweep.f32.default_seconds,
+          "autotune f32 winner slower than the default blocking");
+  h.tune = std::move(sweep);
+}
+
 // ------------------------------------------------------------ JSON output
+
+void print_opt(std::FILE* f, const char* key, std::optional<double> v,
+               const char* suffix) {
+  if (v.has_value()) {
+    std::fprintf(f, "  \"%s\": %.6e%s\n", key, *v, suffix);
+  } else {
+    std::fprintf(f, "  \"%s\": null%s\n", key, suffix);
+  }
+}
+
+void print_blocking(std::FILE* f, const parsvd::autotune::Blocking& b) {
+  std::fprintf(f,
+               "{\"mc\": %lld, \"kc\": %lld, \"nc\": %lld, \"mr\": %lld, "
+               "\"nr\": %lld}",
+               static_cast<long long>(b.mc), static_cast<long long>(b.kc),
+               static_cast<long long>(b.nc), static_cast<long long>(b.mr),
+               static_cast<long long>(b.nr));
+}
 
 bool write_json(const Harness& h, const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -387,35 +623,90 @@ bool write_json(const Harness& h, const std::string& path) {
   // structure run-to-run. Enforced by the bench-clock lint rule.
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"kernels\",\n");
-  std::fprintf(f, "  \"schema_version\": 1,\n");
+  std::fprintf(f, "  \"schema_version\": 2,\n");
   std::fprintf(f, "  \"smoke\": %s,\n", h.smoke() ? "true" : "false");
   std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
                std::thread::hardware_concurrency());
-  std::fprintf(f, "  \"blocking\": {\"mc\": %lld, \"kc\": %lld, \"nc\": %lld, "
-               "\"mr\": 8, \"nr\": 6, \"qr_block\": %lld},\n",
-               static_cast<long long>(parsvd::env::get_int("PARSVD_GEMM_MC", 96)),
-               static_cast<long long>(parsvd::env::get_int("PARSVD_GEMM_KC", 256)),
-               static_cast<long long>(parsvd::env::get_int("PARSVD_GEMM_NC", 4032)),
-               static_cast<long long>(parsvd::env::get_int("PARSVD_QR_BLOCK", 32)));
+  const parsvd::autotune::Profile& prof = parsvd::autotune::active_profile();
+  std::fprintf(f, "  \"blocking\": {\"f64\": ");
+  print_blocking(f, prof.f64);
+  std::fprintf(f, ", \"f32\": ");
+  print_blocking(f, prof.f32);
+  std::fprintf(f, ", \"qr_block\": %lld, \"tuned\": %s},\n",
+               static_cast<long long>(prof.qr_block),
+               prof.tuned ? "true" : "false");
   std::fprintf(f, "  \"results\": [\n");
   const auto& rs = h.results();
   for (std::size_t i = 0; i < rs.size(); ++i) {
     const Result& r = rs[i];
     std::fprintf(f,
                  "    {\"kernel\": \"%s\", \"m\": %lld, \"n\": %lld, \"k\": %lld, "
-                 "\"threads\": %d, \"seconds\": %.6e, \"gflops\": %.4f}%s\n",
+                 "\"threads\": %d, \"seconds\": %.6e, \"gflops\": %.4f, "
+                 "\"flops\": %.6e}%s\n",
                  r.kernel.c_str(), static_cast<long long>(r.m),
                  static_cast<long long>(r.n), static_cast<long long>(r.k),
-                 r.threads, r.seconds, r.gflops,
+                 r.threads, r.seconds, r.gflops, r.flops,
                  (i + 1 < rs.size()) ? "," : "");
   }
   std::fprintf(f, "  ],\n");
-  std::fprintf(f, "  \"gemm_512_seed_seconds\": %.6e,\n", h.seed_512_seconds);
-  std::fprintf(f, "  \"gemm_512_packed_seconds\": %.6e,\n", h.packed_512_seconds);
-  const double speedup = (h.packed_512_seconds > 0.0)
-                             ? h.seed_512_seconds / h.packed_512_seconds
-                             : 0.0;
-  std::fprintf(f, "  \"gemm_512_speedup_vs_seed\": %.3f\n", speedup);
+  if (h.tune.has_value()) {
+    const parsvd::autotune::SweepResult& t = *h.tune;
+    auto entry = [&](const char* name, const parsvd::autotune::SweepEntry& e,
+                     const char* suffix) {
+      std::fprintf(f, "    \"%s\": {\"best\": ", name);
+      print_blocking(f, e.best);
+      std::fprintf(f,
+                   ", \"default_seconds\": %.6e, \"best_seconds\": %.6e, "
+                   "\"speedup\": %.3f, \"candidates\": %d}%s\n",
+                   e.default_seconds, e.best_seconds,
+                   (e.best_seconds > 0.0) ? e.default_seconds / e.best_seconds
+                                          : 0.0,
+                   e.candidates, suffix);
+    };
+    std::fprintf(f, "  \"autotune\": {\n");
+    std::fprintf(f, "    \"probe_size\": %lld,\n",
+                 static_cast<long long>(t.probe_size));
+    entry("f64", t.f64, ",");
+    entry("f32", t.f32, ",");
+    std::fprintf(f,
+                 "    \"qr\": {\"block\": %lld, \"rows\": %lld, \"cols\": %lld, "
+                 "\"default_seconds\": %.6e, \"best_seconds\": %.6e, "
+                 "\"speedup\": %.3f}\n",
+                 static_cast<long long>(t.profile.qr_block),
+                 static_cast<long long>(t.qr_rows),
+                 static_cast<long long>(t.qr_cols), t.qr_default_seconds,
+                 t.qr_best_seconds,
+                 (t.qr_best_seconds > 0.0)
+                     ? t.qr_default_seconds / t.qr_best_seconds
+                     : 0.0);
+    std::fprintf(f, "  },\n");
+  } else {
+    std::fprintf(f, "  \"autotune\": null,\n");
+  }
+  print_opt(f, "gemm_512_seed_seconds", h.seed_512_seconds, ",");
+  print_opt(f, "gemm_512_packed_seconds", h.packed_512_seconds, ",");
+  std::optional<double> speedup_vs_seed;
+  if (h.seed_512_seconds && h.packed_512_seconds && *h.packed_512_seconds > 0.0) {
+    speedup_vs_seed = *h.seed_512_seconds / *h.packed_512_seconds;
+  }
+  print_opt(f, "gemm_512_speedup_vs_seed", speedup_vs_seed, ",");
+  print_opt(f, "gemm_f32_512_seconds", h.f32_512_seconds, ",");
+  std::optional<double> f32_speedup;
+  if (h.packed_512_seconds && h.f32_512_seconds && *h.f32_512_seconds > 0.0) {
+    f32_speedup = *h.packed_512_seconds / *h.f32_512_seconds;
+  }
+  print_opt(f, "gemm_f32_512_speedup_vs_f64", f32_speedup, ",");
+  print_opt(f, "mixed_rsvd_double_seconds", h.rsvd_double_seconds, ",");
+  print_opt(f, "mixed_rsvd_mixed_seconds", h.rsvd_mixed_seconds, ",");
+  std::optional<double> rsvd_speedup;
+  if (h.rsvd_double_seconds && h.rsvd_mixed_seconds &&
+      *h.rsvd_mixed_seconds > 0.0) {
+    rsvd_speedup = *h.rsvd_double_seconds / *h.rsvd_mixed_seconds;
+  }
+  print_opt(f, "mixed_rsvd_speedup", rsvd_speedup, ",");
+  print_opt(f, "mixed_rsvd_sigma_rel_err", h.rsvd_sigma_rel_err, ",");
+  print_opt(f, "single_rsvd_sigma_rel_err", h.rsvd_single_sigma_rel_err, ",");
+  std::fprintf(f, "  \"failures\": %d\n", h.failures());
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());
@@ -426,15 +717,23 @@ bool write_json(const Harness& h, const std::string& path) {
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool tune = false;
   std::string out = parsvd::env::get_string("PARSVD_BENCH_OUT",
                                             "BENCH_kernels.json");
+  std::string tune_out = "parsvd_tune.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--tune") == 0) {
+      tune = true;
+    } else if (std::strncmp(argv[i], "--tune-out=", 11) == 0) {
+      tune_out = argv[i] + 11;
     } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
       out = argv[i] + 6;
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--out=PATH]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--tune] [--tune-out=PATH] [--out=PATH]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -442,14 +741,21 @@ int main(int argc, char** argv) {
   Harness h(smoke);
   smoke_checks(h);  // correctness gate runs in both modes (cheap)
   parsvd::ThreadPool::set_global_threads(1);
+  if (tune) run_tune(h, tune_out);
   bench_gemm(h);
+  bench_gemm_f32(h);
   bench_qr(h);
   bench_gram(h);
   bench_gemv(h);
+  bench_mixed_rsvd(h);
 
-  if (!smoke && h.packed_512_seconds > 0.0) {
+  if (!smoke && h.packed_512_seconds && h.seed_512_seconds) {
     std::printf("gemm 512^3 single-thread speedup vs seed kernel: %.2fx\n",
-                h.seed_512_seconds / h.packed_512_seconds);
+                *h.seed_512_seconds / *h.packed_512_seconds);
+  }
+  if (!smoke && h.packed_512_seconds && h.f32_512_seconds) {
+    std::printf("gemm_f32 512^3 speedup vs fp64: %.2fx\n",
+                *h.packed_512_seconds / *h.f32_512_seconds);
   }
   const bool wrote = write_json(h, out);
   return (h.failures() == 0 && wrote) ? 0 : 1;

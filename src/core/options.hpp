@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "linalg/blas.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/svd.hpp"
 #include "sketch/sketch.hpp"
@@ -66,6 +67,14 @@ struct RandomizedOptions {
   /// operator) unless overridden here or via PARSVD_SKETCH_KIND; Auto
   /// picks the cheapest kind from the per-shape apply-cost model.
   sketch::SketchKind sketch_kind = sketch::default_kind();
+  /// Arithmetic regime for the range finder (DESIGN §12). Double is the
+  /// reference; Mixed runs the sketch apply and power-iteration GEMMs in
+  /// fp32 and refines the basis back to fp64 (one fp64 re-orthogonalization
+  /// before the fp64 projection) — near-fp64 singular values at fp32
+  /// inner-loop cost; Single stays fp32 through the projection (coarse).
+  /// Default from PARSVD_PRECISION; also reached through the nested
+  /// `randomized` options of StreamingOptions / ApmosOptions.
+  Precision precision = default_precision();
 };
 
 /// Streaming (Levy-Lindenbaum) configuration, serial and parallel.

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "linalg/gemm_engine.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "support/env.hpp"
@@ -11,11 +12,97 @@
 
 namespace parsvd {
 
-double dot(std::span<const double> x, std::span<const double> y) {
-  PARSVD_REQUIRE(x.size() == y.size(), "dot: length mismatch");
+const char* to_string(Precision p) {
+  switch (p) {
+    case Precision::Double: return "double";
+    case Precision::Single: return "single";
+    case Precision::Mixed: return "mixed";
+  }
+  return "double";
+}
+
+Precision precision_from_string(std::string_view s) {
+  if (s == "double") return Precision::Double;
+  if (s == "single") return Precision::Single;
+  if (s == "mixed") return Precision::Mixed;
+  throw Error("unknown precision '" + std::string(s) +
+              "' (expected double | single | mixed)");
+}
+
+Precision default_precision() {
+  static const Precision p =
+      precision_from_string(env::get_string("PARSVD_PRECISION", "double"));
+  return p;
+}
+
+bool compensated_enabled() {
+  static const bool on = env::get_bool("PARSVD_COMPENSATED", false);
+  return on;
+}
+
+MatrixF to_single(const Matrix& a) {
+  MatrixF f(a.rows(), a.cols());
+  const double* src = a.data();
+  float* dst = f.data();
+  const Index n = a.size();
+  for (Index i = 0; i < n; ++i) dst[i] = static_cast<float>(src[i]);
+  return f;
+}
+
+Matrix to_double(const MatrixF& a) {
+  Matrix d(a.rows(), a.cols());
+  const float* src = a.data();
+  double* dst = d.data();
+  const Index n = a.size();
+  for (Index i = 0; i < n; ++i) dst[i] = static_cast<double>(src[i]);
+  return d;
+}
+
+namespace {
+
+double dot_naive(std::span<const double> x, std::span<const double> y) {
   double s = 0.0;
   for (std::size_t i = 0; i < x.size(); ++i) s += x[i] * y[i];
   return s;
+}
+
+// Ogita–Rump–Oishi Dot2 core: error-free two-prod (FMA) and two-sum with
+// a single running compensation term — the result is as accurate as if
+// the sum were formed in roughly twice the working precision.
+double dot2(const double* x, const double* y, std::size_t n) {
+  double s = 0.0;
+  double comp = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double p = x[i] * y[i];
+    const double ep = std::fma(x[i], y[i], -p);  // exact product error
+    const double t = s + p;
+    const double z = t - s;
+    const double es = (s - (t - z)) + (p - z);   // exact sum error
+    s = t;
+    comp += ep + es;
+  }
+  return s + comp;
+}
+
+}  // namespace
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  PARSVD_REQUIRE(x.size() == y.size(), "dot: length mismatch");
+  if (compensated_enabled()) return dot_compensated(x, y);
+  return dot_naive(x, y);
+}
+
+double dot_compensated(std::span<const double> x, std::span<const double> y) {
+  PARSVD_REQUIRE(x.size() == y.size(), "dot_compensated: length mismatch");
+  static obs::Counter& calls =
+      obs::Registry::global().counter("linalg.dot_compensated.calls");
+  static obs::Counter& flops =
+      obs::Registry::global().counter("linalg.dot_compensated.flops");
+  calls.add(1);
+  // Dot2 spends ~8 flops per element (2 for the product pair, 6 for the
+  // compensated sum) against naive dot's 2.
+  flops.add(8ull * static_cast<std::uint64_t>(x.size()));
+  return dot2(x.data(), y.data(), x.size());
 }
 
 void axpy(double alpha, std::span<const double> x, std::span<double> y) {
@@ -128,213 +215,118 @@ void ger(double alpha, std::span<const double> x, std::span<const double> y,
 
 // ===================================================== packed GEMM engine
 //
-// BLIS-style structure: op(A) macro-panels (MC x KC) and op(B) macro-panels
-// (KC x NC) are packed into contiguous, transpose-resolved, zero-padded
-// buffers, and an MR x NR register-tiled micro-kernel accumulates C tiles
-// over the full KC depth before touching memory. Cache block sizes are
-// env-tunable; the micro tile is fixed at compile time so the accumulators
-// live in registers.
+// The engine itself lives in linalg/gemm_engine.hpp (precision-templated
+// packing + micro-kernels). This file instantiates the candidate micro
+// tiles per precision and dispatches through a table keyed on the active
+// autotune profile, which is how the autotuner sweeps the compile-time
+// micro shape without recompiling.
 
 namespace {
 
-// Micro-tile: MR rows (contiguous in packed A and in column-major C) by
-// NR columns. 8x6 doubles = 12 AVX2 / 6 AVX-512 accumulator vectors.
-constexpr Index kMicroRows = 8;
-constexpr Index kMicroCols = 6;
+template <typename T>
+using PackedFn = void (*)(const detail::OpViewT<T>&, const detail::OpViewT<T>&,
+                          Index, Index, Index, T, T*, Index,
+                          const detail::EngineBlocking&);
 
-// Element (r, c) of op(M) lives at data[r * stride_row + c * stride_col].
-struct OpView {
-  const double* data;
-  Index stride_row;
-  Index stride_col;
-
-  double at(Index r, Index c) const { return data[r * stride_row + c * stride_col]; }
-  OpView shifted_cols(Index c0) const { return {data + c0 * stride_col, stride_row, stride_col}; }
+template <typename T>
+struct KernelEntry {
+  Index mr;
+  Index nr;
+  PackedFn<T> fn;
 };
 
-OpView make_view(const double* data, Index ld, Trans t) {
-  if (t == Trans::No) return {data, 1, ld};
-  return {data, ld, 1};
-}
-
-Index round_up(Index v, Index to) { return (v + to - 1) / to * to; }
-
-struct GemmBlocking {
-  Index mc, kc, nc;
+// One candidate set per precision; kept in sync with the MicroRowOf
+// specializations in gemm_engine.hpp (MR in {4, 8, 16}, NR <= 8).
+template <typename T>
+constexpr KernelEntry<T> kKernels[] = {
+    {4, 6, &detail::gemm_packed_serial<T, 4, 6>},
+    {8, 4, &detail::gemm_packed_serial<T, 8, 4>},
+    {8, 6, &detail::gemm_packed_serial<T, 8, 6>},
+    {8, 8, &detail::gemm_packed_serial<T, 8, 8>},
+    {16, 4, &detail::gemm_packed_serial<T, 16, 4>},
+    {16, 6, &detail::gemm_packed_serial<T, 16, 6>},
+    {16, 8, &detail::gemm_packed_serial<T, 16, 8>},
 };
 
-const GemmBlocking& blocking() {
-  static const GemmBlocking blk = [] {
-    GemmBlocking b;
-    b.mc = round_up(std::clamp<Index>(env::get_int("PARSVD_GEMM_MC", 96), kMicroRows, 4096),
-                    kMicroRows);
-    b.kc = std::clamp<Index>(env::get_int("PARSVD_GEMM_KC", 256), 8, 8192);
-    b.nc = round_up(std::clamp<Index>(env::get_int("PARSVD_GEMM_NC", 4032), kMicroCols, 1 << 16),
-                    kMicroCols);
-    return b;
-  }();
-  return blk;
+template <typename T>
+PackedFn<T> find_kernel(Index mr, Index nr) {
+  for (const KernelEntry<T>& e : kKernels<T>) {
+    if (e.mr == mr && e.nr == nr) return e.fn;
+  }
+  return nullptr;
 }
 
-// Pack op(A)(i0:i0+mc, p0:p0+kc) into kMicroRows-wide micro-panels with
-// alpha folded in; short edge panels are zero-padded so the micro-kernel
-// never needs a bounds check on its accumulate loop.
-void pack_a(const OpView& a, Index i0, Index mc, Index p0, Index kc,
-            double alpha, double* buf) {
-  for (Index i = 0; i < mc; i += kMicroRows) {
-    const Index mr = std::min(kMicroRows, mc - i);
-    if (a.stride_row == 1 && mr == kMicroRows && alpha == 1.0) {
-      // op(A) columns are contiguous: straight 8-element copies.
-      const double* src = a.data + (i0 + i) + p0 * a.stride_col;
-      for (Index p = 0; p < kc; ++p) {
-        double* dst = buf + p * kMicroRows;
-        const double* col = src + p * a.stride_col;
-        for (Index r = 0; r < kMicroRows; ++r) dst[r] = col[r];
-      }
-    } else {
-      for (Index p = 0; p < kc; ++p) {
-        double* dst = buf + p * kMicroRows;
-        for (Index r = 0; r < mr; ++r) dst[r] = alpha * a.at(i0 + i + r, p0 + p);
-        for (Index r = mr; r < kMicroRows; ++r) dst[r] = 0.0;
-      }
-    }
-    buf += kc * kMicroRows;
+// Resolved per-precision engine configuration: the dispatched micro-kernel
+// plus its cache blocks, from the autotune profile (already sanitized by
+// autotune::active_profile(), but the kernel lookup re-checks and falls
+// back to the default micro tile so a hand-edited profile can't crash us).
+template <typename T>
+struct ActiveConfig {
+  PackedFn<T> fn;
+  detail::EngineBlocking blk;
+  Index mr;
+  Index nr;
+};
+
+template <typename T>
+ActiveConfig<T> resolve_config(const autotune::Blocking& tuned,
+                               const autotune::Blocking& fallback) {
+  autotune::Blocking b = autotune::sanitize(tuned, fallback);
+  PackedFn<T> fn = find_kernel<T>(b.mr, b.nr);
+  if (fn == nullptr) {
+    b = autotune::sanitize(fallback, fallback);
+    fn = find_kernel<T>(b.mr, b.nr);
   }
+  PARSVD_REQUIRE(fn != nullptr, "gemm: no micro-kernel for default blocking");
+  return {fn, {b.mc, b.kc, b.nc}, b.mr, b.nr};
 }
 
-// Pack op(B)(p0:p0+kc, j0:j0+nc) into kMicroCols-wide micro-panels
-// (zero-padded on the column edge).
-void pack_b(const OpView& b, Index p0, Index kc, Index j0, Index nc,
-            double* buf) {
-  for (Index j = 0; j < nc; j += kMicroCols) {
-    const Index nr = std::min(kMicroCols, nc - j);
-    for (Index p = 0; p < kc; ++p) {
-      double* dst = buf + p * kMicroCols;
-      for (Index c = 0; c < nr; ++c) dst[c] = b.at(p0 + p, j0 + j + c);
-      for (Index c = nr; c < kMicroCols; ++c) dst[c] = 0.0;
-    }
-    buf += kc * kMicroCols;
-  }
+const ActiveConfig<double>& active_f64() {
+  static const ActiveConfig<double> cfg = resolve_config<double>(
+      autotune::active_profile().f64, autotune::default_profile().f64);
+  return cfg;
 }
 
-// C(mr x nr tile at `c`, leading dim ldc) += A-panel * B-panel over depth
-// kc. The accumulate loop always runs the full tile (padding makes the
-// extra lanes harmless); only the store is edge-bounded.
-#if defined(__GNUC__) || defined(__clang__)
-#define PARSVD_GEMM_VECTOR_EXT 1
-// One packed-A micro-row as a GCC/Clang generic vector. alignment 8 keeps
-// loads unaligned-safe; the compiler lowers to the widest SIMD the target
-// arch offers (one zmm on AVX-512, two ymm on AVX2, four xmm on SSE2).
-// gcc 12 will not promote a double[6][8] accumulator array out of memory,
-// so this formulation is worth ~15x over the portable loop below.
-typedef double MicroRow __attribute__((vector_size(kMicroRows * sizeof(double)),
-                                       aligned(8)));
-
-void micro_kernel(Index kc, const double* a_panel, const double* b_panel,
-                  double* c, Index ldc, Index mr, Index nr) {
-  static_assert(kMicroCols == 6, "accumulator count is hand-unrolled");
-  MicroRow acc0 = {}, acc1 = {}, acc2 = {}, acc3 = {}, acc4 = {}, acc5 = {};
-  for (Index p = 0; p < kc; ++p) {
-    const MicroRow a = *reinterpret_cast<const MicroRow*>(a_panel + p * kMicroRows);
-    const double* b = b_panel + p * kMicroCols;
-    acc0 += a * b[0];
-    acc1 += a * b[1];
-    acc2 += a * b[2];
-    acc3 += a * b[3];
-    acc4 += a * b[4];
-    acc5 += a * b[5];
-  }
-  const MicroRow acc[kMicroCols] = {acc0, acc1, acc2, acc3, acc4, acc5};
-  if (mr == kMicroRows && nr == kMicroCols) {
-    for (Index j = 0; j < kMicroCols; ++j) {
-      double* cj = c + j * ldc;
-      for (Index i = 0; i < kMicroRows; ++i) cj[i] += acc[j][i];
-    }
-  } else {
-    for (Index j = 0; j < nr; ++j) {
-      double* cj = c + j * ldc;
-      for (Index i = 0; i < mr; ++i) cj[i] += acc[j][i];
-    }
-  }
-}
-#else
-void micro_kernel(Index kc, const double* a_panel, const double* b_panel,
-                  double* c, Index ldc, Index mr, Index nr) {
-  double acc[kMicroCols][kMicroRows] = {};
-  for (Index p = 0; p < kc; ++p) {
-    const double* a = a_panel + p * kMicroRows;
-    const double* b = b_panel + p * kMicroCols;
-    for (Index j = 0; j < kMicroCols; ++j) {
-      const double bj = b[j];
-      for (Index i = 0; i < kMicroRows; ++i) acc[j][i] += a[i] * bj;
-    }
-  }
-  if (mr == kMicroRows && nr == kMicroCols) {
-    for (Index j = 0; j < kMicroCols; ++j) {
-      double* cj = c + j * ldc;
-      for (Index i = 0; i < kMicroRows; ++i) cj[i] += acc[j][i];
-    }
-  } else {
-    for (Index j = 0; j < nr; ++j) {
-      double* cj = c + j * ldc;
-      for (Index i = 0; i < mr; ++i) cj[i] += acc[j][i];
-    }
-  }
-}
-#endif  // PARSVD_GEMM_VECTOR_EXT
-
-// Serial packed driver over one contiguous column range of C.
-void gemm_packed_serial(const OpView& va, const OpView& vb, Index m, Index n,
-                        Index k, double alpha, double* c, Index ldc) {
-  const GemmBlocking& blk = blocking();
-  const Index mc_max = std::min(round_up(m, kMicroRows), blk.mc);
-  const Index nc_max = std::min(round_up(n, kMicroCols), blk.nc);
-  const Index kc_max = std::min(k, blk.kc);
-  std::vector<double> apack(static_cast<std::size_t>(mc_max * kc_max));
-  std::vector<double> bpack(static_cast<std::size_t>(nc_max * kc_max));
-
-  for (Index jc = 0; jc < n; jc += blk.nc) {
-    const Index nc = std::min(blk.nc, n - jc);
-    for (Index pc = 0; pc < k; pc += blk.kc) {
-      const Index kc = std::min(blk.kc, k - pc);
-      pack_b(vb, pc, kc, jc, nc, bpack.data());
-      for (Index ic = 0; ic < m; ic += blk.mc) {
-        const Index mc = std::min(blk.mc, m - ic);
-        pack_a(va, ic, mc, pc, kc, alpha, apack.data());
-        for (Index jr = 0; jr < nc; jr += kMicroCols) {
-          const Index nr = std::min(kMicroCols, nc - jr);
-          const double* bp = bpack.data() + (jr / kMicroCols) * kc * kMicroCols;
-          for (Index ir = 0; ir < mc; ir += kMicroRows) {
-            const Index mr = std::min(kMicroRows, mc - ir);
-            const double* ap = apack.data() + (ir / kMicroRows) * kc * kMicroRows;
-            micro_kernel(kc, ap, bp, c + (ic + ir) + (jc + jr) * ldc, ldc, mr, nr);
-          }
-        }
-      }
-    }
-  }
-}
-
-// Unpacked fallback for tiny products where packing/allocation overhead
-// would dominate (streaming updates issue many single-digit-size GEMMs).
-void gemm_small_serial(const OpView& va, const OpView& vb, Index m, Index n,
-                       Index k, double alpha, double* c, Index ldc) {
-  for (Index j = 0; j < n; ++j) {
-    double* cj = c + j * ldc;
-    for (Index p = 0; p < k; ++p) {
-      const double bpj = alpha * vb.at(p, j);
-      if (bpj == 0.0) continue;
-      const double* arow = va.data + p * va.stride_col;
-      if (va.stride_row == 1) {
-        for (Index i = 0; i < m; ++i) cj[i] += bpj * arow[i];
-      } else {
-        for (Index i = 0; i < m; ++i) cj[i] += bpj * arow[i * va.stride_row];
-      }
-    }
-  }
+const ActiveConfig<float>& active_f32() {
+  static const ActiveConfig<float> cfg = resolve_config<float>(
+      autotune::active_profile().f32, autotune::default_profile().f32);
+  return cfg;
 }
 
 constexpr Index kGemmPackThreshold = 24 * 24 * 24;
+
+// Shared accumulate driver: tiny products skip packing, large ones fan
+// out over disjoint column panels of C (one chunk per pool slot, each
+// running the full packed structure on its slice — thread-local packing
+// buffers, no synchronization on writes).
+template <typename T>
+void accumulate_engine(const ActiveConfig<T>& cfg, const detail::OpViewT<T>& va,
+                       const detail::OpViewT<T>& vb, Index m, Index n, Index k,
+                       T alpha, T* c, Index ldc, bool allow_parallel) {
+  const Index flops_proxy = m * n * k;
+  if (flops_proxy < kGemmPackThreshold) {
+    detail::gemm_small_serial<T>(va, vb, m, n, k, alpha, c, ldc);
+    return;
+  }
+
+  if (allow_parallel && flops_proxy >= kGemmParallelThreshold &&
+      pool_available()) {
+    const std::size_t slots = ThreadPool::global().size() + 1;
+    const std::size_t grain = static_cast<std::size_t>(detail::engine_round_up(
+        (n + static_cast<Index>(slots) - 1) / static_cast<Index>(slots),
+        cfg.nr));
+    ThreadPool::global().parallel_for(
+        0, static_cast<std::size_t>(n),
+        [&](std::size_t lo, std::size_t hi) {
+          const Index j0 = static_cast<Index>(lo);
+          cfg.fn(va, vb.shifted_cols(j0), m, static_cast<Index>(hi) - j0, k,
+                 alpha, c + j0 * ldc, ldc, cfg.blk);
+        },
+        grain);
+  } else {
+    cfg.fn(va, vb, m, n, k, alpha, c, ldc, cfg.blk);
+  }
+}
 
 }  // namespace
 
@@ -345,36 +337,46 @@ void gemm_accumulate(Trans trans_a, Trans trans_b, Index m, Index n, Index k,
                      const double* b, Index ldb, double* c, Index ldc,
                      bool allow_parallel) {
   if (alpha == 0.0 || m == 0 || n == 0 || k == 0) return;
-  const OpView va = make_view(a, lda, trans_a);
-  const OpView vb = make_view(b, ldb, trans_b);
+  const OpViewT<double> va = make_op_view(a, lda, trans_a == Trans::Yes);
+  const OpViewT<double> vb = make_op_view(b, ldb, trans_b == Trans::Yes);
+  accumulate_engine<double>(active_f64(), va, vb, m, n, k, alpha, c, ldc,
+                            allow_parallel);
+}
 
-  const Index flops_proxy = m * n * k;
-  if (flops_proxy < kGemmPackThreshold) {
-    gemm_small_serial(va, vb, m, n, k, alpha, c, ldc);
-    return;
-  }
+void gemm_accumulate_f32(Trans trans_a, Trans trans_b, Index m, Index n,
+                         Index k, float alpha, const float* a, Index lda,
+                         const float* b, Index ldb, float* c, Index ldc,
+                         bool allow_parallel) {
+  if (alpha == 0.0f || m == 0 || n == 0 || k == 0) return;
+  const OpViewT<float> va = make_op_view(a, lda, trans_a == Trans::Yes);
+  const OpViewT<float> vb = make_op_view(b, ldb, trans_b == Trans::Yes);
+  accumulate_engine<float>(active_f32(), va, vb, m, n, k, alpha, c, ldc,
+                           allow_parallel);
+}
 
-  if (allow_parallel && flops_proxy >= kGemmParallelThreshold && pool_available()) {
-    // Partition over disjoint column panels of C: one chunk per pool slot,
-    // each running the full packed structure on its slice (thread-local
-    // packing buffers, no synchronization on writes).
-    const std::size_t slots = ThreadPool::global().size() + 1;
-    const std::size_t grain =
-        round_up((static_cast<Index>(n) + static_cast<Index>(slots) - 1) /
-                     static_cast<Index>(slots),
-                 kMicroCols);
-    ThreadPool::global().parallel_for(
-        0, static_cast<std::size_t>(n),
-        [&](std::size_t lo, std::size_t hi) {
-          const Index j0 = static_cast<Index>(lo);
-          gemm_packed_serial(va, vb.shifted_cols(j0), m,
-                             static_cast<Index>(hi) - j0, k, alpha,
-                             c + j0 * ldc, ldc);
-        },
-        grain);
-  } else {
-    gemm_packed_serial(va, vb, m, n, k, alpha, c, ldc);
-  }
+bool has_kernel_f64(Index mr, Index nr) {
+  return find_kernel<double>(mr, nr) != nullptr;
+}
+
+bool has_kernel_f32(Index mr, Index nr) {
+  return find_kernel<float>(mr, nr) != nullptr;
+}
+
+void gemm_probe_f64(Index m, Index n, Index k, const double* a,
+                    const double* b, double* c,
+                    const autotune::Blocking& blk) {
+  PackedFn<double> fn = find_kernel<double>(blk.mr, blk.nr);
+  PARSVD_REQUIRE(fn != nullptr, "gemm_probe_f64: no such micro-kernel");
+  fn(make_op_view(a, m, false), make_op_view(b, k, false), m, n, k, 1.0, c, m,
+     {blk.mc, blk.kc, blk.nc});
+}
+
+void gemm_probe_f32(Index m, Index n, Index k, const float* a, const float* b,
+                    float* c, const autotune::Blocking& blk) {
+  PackedFn<float> fn = find_kernel<float>(blk.mr, blk.nr);
+  PARSVD_REQUIRE(fn != nullptr, "gemm_probe_f32: no such micro-kernel");
+  fn(make_op_view(a, m, false), make_op_view(b, k, false), m, n, k, 1.0f, c, m,
+     {blk.mc, blk.kc, blk.nc});
 }
 
 }  // namespace detail
@@ -410,6 +412,42 @@ void gemm(Trans trans_a, Trans trans_b, double alpha, const Matrix& a,
                           a.rows(), b.data(), b.rows(), c.data(), c.rows());
 }
 
+void gemm_f32(Trans trans_a, Trans trans_b, float alpha, const MatrixF& a,
+              const MatrixF& b, float beta, MatrixF& c) {
+  const Index m = (trans_a == Trans::No) ? a.rows() : a.cols();
+  const Index k = (trans_a == Trans::No) ? a.cols() : a.rows();
+  const Index kb = (trans_b == Trans::No) ? b.rows() : b.cols();
+  const Index n = (trans_b == Trans::No) ? b.cols() : b.rows();
+  PARSVD_REQUIRE(k == kb, "gemm_f32: inner dimension mismatch");
+  PARSVD_REQUIRE(c.rows() == m && c.cols() == n, "gemm_f32: C has wrong shape");
+  PARSVD_REQUIRE(!c.aliases(a) && !c.aliases(b),
+                 "gemm_f32: C must not alias A or B");
+
+  PARSVD_TRACE_SCOPE("linalg.gemm_f32");
+  static obs::Counter& calls =
+      obs::Registry::global().counter("linalg.gemm_f32.calls");
+  static obs::Counter& flops =
+      obs::Registry::global().counter("linalg.gemm_f32.flops");
+  calls.add(1);
+  flops.add(2ull * static_cast<std::uint64_t>(m) * static_cast<std::uint64_t>(n) *
+            static_cast<std::uint64_t>(k));
+
+  if (beta != 1.0f) {
+    if (beta == 0.0f) {
+      c.fill(0.0f);
+    } else {
+      const Index total = c.size();
+      float* cd = c.data();
+      for (Index i = 0; i < total; ++i) cd[i] *= beta;
+    }
+  }
+  if (alpha == 0.0f || m == 0 || n == 0 || k == 0) return;
+
+  detail::gemm_accumulate_f32(trans_a, trans_b, m, n, k, alpha, a.data(),
+                              a.rows(), b.data(), b.rows(), c.data(),
+                              c.rows());
+}
+
 Matrix matmul(const Matrix& a, const Matrix& b, Trans trans_a, Trans trans_b) {
   const Index m = (trans_a == Trans::No) ? a.rows() : a.cols();
   const Index n = (trans_b == Trans::No) ? b.cols() : b.rows();
@@ -418,7 +456,17 @@ Matrix matmul(const Matrix& a, const Matrix& b, Trans trans_a, Trans trans_b) {
   return c;
 }
 
+MatrixF matmul_f32(const MatrixF& a, const MatrixF& b, Trans trans_a,
+                   Trans trans_b) {
+  const Index m = (trans_a == Trans::No) ? a.rows() : a.cols();
+  const Index n = (trans_b == Trans::No) ? b.cols() : b.rows();
+  MatrixF c(m, n);
+  gemm_f32(trans_a, trans_b, 1.0f, a, b, 0.0f, c);
+  return c;
+}
+
 Matrix gram(const Matrix& a) {
+  if (compensated_enabled()) return gram_compensated(a);
   const Index m = a.rows();
   const Index n = a.cols();
   Matrix g(n, n);
@@ -457,6 +505,33 @@ Matrix gram(const Matrix& a) {
 
   for (Index j = 0; j < n; ++j) {
     for (Index i = 0; i < j; ++i) g(j, i) = g(i, j);
+  }
+  return g;
+}
+
+Matrix gram_compensated(const Matrix& a) {
+  const Index m = a.rows();
+  const Index n = a.cols();
+  Matrix g(n, n);
+  if (n == 0) return g;
+  PARSVD_TRACE_SCOPE("linalg.gram_compensated");
+  static obs::Counter& calls =
+      obs::Registry::global().counter("linalg.gram_compensated.calls");
+  static obs::Counter& flops =
+      obs::Registry::global().counter("linalg.gram_compensated.flops");
+  calls.add(1);
+  // Upper triangle of Dot2 column dots at ~8 flops/element, mirrored.
+  flops.add(8ull * static_cast<std::uint64_t>(n) *
+            static_cast<std::uint64_t>(n + 1) / 2 *
+            static_cast<std::uint64_t>(m));
+
+  for (Index j = 0; j < n; ++j) {
+    const double* cj = a.col_data(j);
+    for (Index i = 0; i <= j; ++i) {
+      const double v = dot2(a.col_data(i), cj, static_cast<std::size_t>(m));
+      g(i, j) = v;
+      if (i != j) g(j, i) = v;
+    }
   }
   return g;
 }

@@ -146,6 +146,30 @@ Matrix SketchOperator::apply_right(const Matrix& a) const {
   return y;
 }
 
+void SketchOperator::apply_right_f32(const MatrixF& a, MatrixF& y) const {
+  PARSVD_REQUIRE(!a.empty(), "sketch apply of an empty matrix");
+  PARSVD_REQUIRE(a.cols() == dim_,
+                 "sketch apply: input has " + std::to_string(a.cols()) +
+                     " cols, operator dim is " + std::to_string(dim_));
+  PARSVD_REQUIRE(!a.aliases(y), "sketch apply: output aliases input");
+  obs::TraceScope span(apply_span_name(kind_));
+  if (kind_ == SketchKind::DenseGaussian) {
+    const MatrixF omega = to_single(realize_rows(0, dim_));
+    y = MatrixF(a.rows(), sketch_dim_);
+    gemm_f32(Trans::No, Trans::No, 1.0f, a, omega, 0.0f, y);
+  } else {
+    // Structured applies are scatter/butterfly passes with no fp32
+    // variant; widen, apply, narrow. Their apply is already far below
+    // GEMM cost, so the conversions don't change the regime.
+    const Matrix ad = to_double(a);
+    Matrix yd(a.rows(), sketch_dim_);
+    do_apply_right(ad, yd);
+    y = to_single(yd);
+  }
+  applies_->add(1);
+  flops_->add(static_cast<std::uint64_t>(apply_flops(a.rows())));
+}
+
 void SketchOperator::accumulate_left(const Matrix& a, Index row_offset,
                                      Matrix& b) const {
   PARSVD_REQUIRE(!a.empty(), "sketch accumulate of an empty matrix");

@@ -99,6 +99,13 @@ class SketchOperator {
   void apply_right(const Matrix& a, Matrix& y) const;
   Matrix apply_right(const Matrix& a) const;
 
+  /// fp32 working-precision sketch: Y = A Ω on float buffers (the Mixed /
+  /// Single range-finder paths, DESIGN §12). Dense kinds realize Ω once,
+  /// narrow it, and run the fp32 packed GEMM — the full ~2x throughput
+  /// win; structured kinds (already bandwidth-bound, no fp32 kernels)
+  /// fall back to the fp64 apply and narrow the result.
+  void apply_right_f32(const MatrixF& a, MatrixF& y) const;
+
   /// B += Ω[row_offset : row_offset + a.rows(), :]ᵀ A — one rank's
   /// contribution to the row-compressing sketch B = Ωᵀ A of a
   /// row-distributed matrix (B: sketch_dim x a.cols()). The partial

@@ -1,0 +1,14 @@
+// Lint fixture — NOT compiled. The raw blocking-constant env reads must
+// each produce a [blocking] finding: cache-blocking knobs are resolved
+// once by the autotune profile (linalg/autotune.cpp); a second read
+// outside src/linalg/ can disagree with what the kernels actually use
+// and skips sanitization.
+#include "support/env.hpp"
+
+long fixture() {
+  const long mc = parsvd::env::get_int("PARSVD_GEMM_MC", 96);
+  const long kc = parsvd::env::get_int("PARSVD_GEMM_KC", 256);
+  const long nc = parsvd::env::get_int("PARSVD_GEMM_NC", 4032);
+  const long qb = parsvd::env::get_int("PARSVD_QR_BLOCK", 32);
+  return mc + kc + nc + qb;
+}
