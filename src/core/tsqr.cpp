@@ -115,6 +115,9 @@ TsqrResult tsqr_direct_ft(pmpi::Communicator& comm, const Matrix& a_local) {
       }
     }
   } else {
+    // Root-must-survive contract: rank 0 owns the stacked factorization
+    // and always sends the slice to a rank it saw deliver its R block.
+    // parsvd-lint: allow-ft-wait
     my_slice = comm.recv_matrix(0, tsqr_down(0));
   }
   comm.bcast_matrix_ft(r_final, 0);

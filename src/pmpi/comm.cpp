@@ -1278,6 +1278,9 @@ void Communicator::bcast_bytes_ft(std::vector<std::byte>& payload, int root) {
       post_scoped(dst, tags::kFtBcast, std::vector<std::byte>(payload));
     }
   } else {
+    // Root-must-survive contract: the FT collectives recover from
+    // non-root deaths only; root owns the recovered result, so a naked
+    // wait on it is the documented exception. parsvd-lint: allow-ft-wait
     payload = wait_scoped(root, tags::kFtBcast);
   }
 }

@@ -153,8 +153,21 @@ void check_matching(const Schedule& s, std::vector<Violation>* out) {
 
 // --------------------------------------------------- channel discipline
 
-void check_discipline(const Schedule& s, std::vector<Violation>* out) {
+/// `limit` caps how much of each rank's script executes (the fault
+/// checker truncates the victim there); kNoLimit = the whole script.
+inline constexpr std::size_t kNoLimit = ~std::size_t{0};
+
+std::size_t rank_limit(const Schedule& s, int rank, int victim,
+                       std::size_t kill_step) {
+  const std::size_t n =
+      s.ranks[static_cast<std::size_t>(rank)].events().size();
+  return rank == victim ? std::min(kill_step, n) : n;
+}
+
+void check_discipline(const Schedule& s, std::vector<Violation>* out,
+                      int victim = -1, std::size_t kill_step = kNoLimit) {
   for (const CommScript& script : s.ranks) {
+    const std::size_t limit = rank_limit(s, script.rank(), victim, kill_step);
     // (src, tag) -> pc of the open irecv; and req -> its channel.
     std::map<std::pair<int, int>, std::size_t> open;
     std::map<int, std::pair<int, int>> req_channel;
@@ -173,7 +186,7 @@ void check_discipline(const Schedule& s, std::vector<Violation>* out) {
       open.erase(it->second);
       req_channel.erase(it);
     };
-    for (std::size_t i = 0; i < script.events().size(); ++i) {
+    for (std::size_t i = 0; i < limit; ++i) {
       const CommEvent& e = script.events()[i];
       switch (e.kind) {
         case CommEvent::Kind::Send:
@@ -360,6 +373,301 @@ void check_progress(const Schedule& s, std::vector<Violation>* out) {
   out->push_back(std::move(v));
 }
 
+// ------------------------------------------- failure-space: matching
+
+/// Match-completeness under a single-rank kill. The victim contributes
+/// only its pre-kill events; channels touching it get the degraded
+/// contract (prefix-exact, dead-resolvable tails), survivor<->survivor
+/// channels keep the byte-exact one.
+void check_fault_matching(const Schedule& s, const FaultScenario& f,
+                          std::vector<Violation>* out) {
+  struct RecvEntry {
+    std::uint64_t bytes;
+    int rank;
+    std::size_t pc;
+    bool bounded;
+  };
+  std::map<ChannelKey, std::vector<SeqEntry>> sends;
+  std::map<ChannelKey, std::vector<RecvEntry>> recvs;
+  for (const CommScript& script : s.ranks) {
+    const std::size_t limit =
+        rank_limit(s, script.rank(), f.victim, f.kill_step);
+    for (std::size_t i = 0; i < limit; ++i) {
+      const CommEvent& e = script.events()[i];
+      switch (e.kind) {
+        case CommEvent::Kind::Send:
+          PARSVD_REQUIRE(e.peer >= 0 && e.peer < s.size(),
+                         "fault checker: send peer out of range");
+          sends[{script.rank(), e.peer, e.tag}].push_back(
+              {e.bytes, script.rank(), i});
+          break;
+        case CommEvent::Kind::Recv:
+        case CommEvent::Kind::IrecvPost:
+          PARSVD_REQUIRE(e.peer >= 0 && e.peer < s.size(),
+                         "fault checker: recv peer out of range");
+          recvs[{e.peer, script.rank(), e.tag}].push_back(
+              {e.bytes, script.rank(), i,
+               e.kind == CommEvent::Kind::Recv && e.bounded});
+          break;
+        case CommEvent::Kind::Wait:
+        case CommEvent::Kind::WaitAll:
+          break;
+      }
+    }
+  }
+
+  std::set<ChannelKey> channels;
+  for (const auto& [key, seq] : sends) channels.insert(key);
+  for (const auto& [key, seq] : recvs) channels.insert(key);
+
+  for (const ChannelKey& key : channels) {
+    const int src = std::get<0>(key);
+    const int dst = std::get<1>(key);
+    const std::vector<SeqEntry>& sent = sends[key];
+    const std::vector<RecvEntry>& received = recvs[key];
+    const std::size_t common = std::min(sent.size(), received.size());
+    // The executed prefix was consumed for real in every admissible
+    // execution — byte-exact regardless of who dies later.
+    for (std::size_t i = 0; i < common; ++i) {
+      if (sent[i].bytes == received[i].bytes ||
+          sent[i].bytes == kAnyBytes || received[i].bytes == kAnyBytes) {
+        continue;
+      }
+      Violation v;
+      v.kind = Violation::Kind::ByteMismatch;
+      v.message = "message " + std::to_string(i) + " on " + channel_str(key) +
+                  ": sender posts " + bytes_str(sent[i].bytes) +
+                  ", receiver expects " + bytes_str(received[i].bytes);
+      trace_rank(s.ranks[static_cast<std::size_t>(sent[i].rank)], sent[i].pc,
+                 &v.trace);
+      trace_rank(s.ranks[static_cast<std::size_t>(received[i].rank)],
+                 received[i].pc, &v.trace);
+      out->push_back(std::move(v));
+    }
+    for (std::size_t i = common; i < sent.size(); ++i) {
+      if (dst == f.victim) continue;  // lands in the dead mailbox — dropped
+      Violation v;
+      v.kind = Violation::Kind::UnmatchedSend;
+      v.message = "send " + std::to_string(i) + " on " + channel_str(key) +
+                  " (" + bytes_str(sent[i].bytes) + ") " +
+                  (src == f.victim
+                       ? "was posted by the victim pre-kill but no survivor "
+                         "ever consumes it"
+                       : "has no matching receive among the survivors");
+      trace_rank(s.ranks[static_cast<std::size_t>(sent[i].rank)], sent[i].pc,
+                 &v.trace);
+      out->push_back(std::move(v));
+    }
+    for (std::size_t i = common; i < received.size(); ++i) {
+      if (src == f.victim && received[i].bounded) continue;  // dead-resolves
+      Violation v;
+      if (src == f.victim) {
+        v.kind = Violation::Kind::OrphanedWait;
+        v.message = "receive " + std::to_string(i) + " on " +
+                    channel_str(key) + " is a naked wait on rank " +
+                    std::to_string(f.victim) + ", which dies at step " +
+                    std::to_string(f.kill_step) +
+                    " without posting it — the wait can never complete";
+      } else {
+        v.kind = Violation::Kind::UnmatchedRecv;
+        v.message =
+            "receive " + std::to_string(i) + " on " + channel_str(key) + " (" +
+            bytes_str(received[i].bytes) + ") has no matching send" +
+            (dst == f.victim ? " — the victim cannot reach its kill point"
+                             : " among the survivors");
+      }
+      trace_rank(s.ranks[static_cast<std::size_t>(received[i].rank)],
+                 received[i].pc, &v.trace);
+      if (src == f.victim) {
+        trace_rank(s.ranks[static_cast<std::size_t>(f.victim)], f.kill_step,
+                   &v.trace);
+      }
+      out->push_back(std::move(v));
+    }
+  }
+}
+
+// ------------------------------------------- failure-space: progress
+
+/// Greedy simulation of the post-kill execution: the victim runs its
+/// pre-kill prefix then halts; a bounded receive on the halted victim's
+/// channel resolves without consuming once nothing further can arrive.
+/// Confluence still holds — dead-resolution only fires when the channel
+/// is provably dry forever, so it never races a real delivery.
+void check_fault_progress(const Schedule& s, const FaultScenario& f,
+                          std::vector<Violation>* out) {
+  const int p = s.size();
+  std::vector<std::size_t> limits(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    limits[static_cast<std::size_t>(r)] = rank_limit(s, r, f.victim,
+                                                     f.kill_step);
+  }
+  std::vector<RankState> st(static_cast<std::size_t>(p));
+  std::map<ChannelKey, std::vector<std::uint64_t>> queues;
+  std::map<ChannelKey, std::size_t> heads;
+
+  const auto available = [&](const ChannelKey& key) {
+    const auto it = queues.find(key);
+    return it != queues.end() && heads[key] < it->second.size();
+  };
+  const auto consume = [&](const ChannelKey& key) { ++heads[key]; };
+  const auto victim_halted = [&] {
+    return st[static_cast<std::size_t>(f.victim)].pc >=
+           limits[static_cast<std::size_t>(f.victim)];
+  };
+
+  const auto step = [&](int r) {
+    RankState& rank = st[static_cast<std::size_t>(r)];
+    const CommScript& script = s.ranks[static_cast<std::size_t>(r)];
+    if (rank.pc >= limits[static_cast<std::size_t>(r)]) return false;
+    const CommEvent& e = script.events()[rank.pc];
+    switch (e.kind) {
+      case CommEvent::Kind::Send:
+        queues[{r, e.peer, e.tag}].push_back(e.bytes);
+        break;
+      case CommEvent::Kind::Recv: {
+        const ChannelKey key{e.peer, r, e.tag};
+        if (!available(key)) {
+          // Dead-resolution: once the victim has halted, every message
+          // it will ever post is already queued; an empty channel from
+          // it stays empty, so a bounded wait completes without a
+          // message (the RankDeadError -> exclusion path).
+          if (!(e.bounded && e.peer == f.victim && r != f.victim &&
+                victim_halted())) {
+            return false;
+          }
+          break;
+        }
+        consume(key);
+        break;
+      }
+      case CommEvent::Kind::IrecvPost:
+        rank.open_reqs[e.req] = {e.peer, r, e.tag};
+        break;
+      case CommEvent::Kind::Wait: {
+        const auto it = rank.open_reqs.find(e.req);
+        if (it == rank.open_reqs.end()) break;  // reported as BadWait
+        if (!available(it->second)) return false;
+        consume(it->second);
+        rank.open_reqs.erase(it);
+        break;
+      }
+      case CommEvent::Kind::WaitAll: {
+        for (const int req : e.reqs) {
+          const auto it = rank.open_reqs.find(req);
+          if (it != rank.open_reqs.end() && !available(it->second))
+            return false;
+        }
+        for (const int req : e.reqs) {
+          const auto it = rank.open_reqs.find(req);
+          if (it == rank.open_reqs.end()) continue;
+          consume(it->second);
+          rank.open_reqs.erase(it);
+        }
+        break;
+      }
+    }
+    ++rank.pc;
+    return true;
+  };
+
+  for (;;) {
+    bool progressed = false;
+    for (int r = 0; r < p; ++r) {
+      while (step(r)) progressed = true;
+    }
+    if (!progressed) break;
+  }
+
+  std::vector<int> stuck;
+  for (int r = 0; r < p; ++r) {
+    if (st[static_cast<std::size_t>(r)].pc < limits[static_cast<std::size_t>(r)])
+      stuck.push_back(r);
+  }
+  if (stuck.empty()) return;
+
+  const auto blockers = [&](int r) {
+    std::vector<ChannelKey> needs;
+    const RankState& rank = st[static_cast<std::size_t>(r)];
+    const CommEvent& e =
+        s.ranks[static_cast<std::size_t>(r)].events()[rank.pc];
+    switch (e.kind) {
+      case CommEvent::Kind::Recv:
+        needs.push_back({e.peer, r, e.tag});
+        break;
+      case CommEvent::Kind::Wait: {
+        const auto it = rank.open_reqs.find(e.req);
+        if (it != rank.open_reqs.end()) needs.push_back(it->second);
+        break;
+      }
+      case CommEvent::Kind::WaitAll:
+        for (const int req : e.reqs) {
+          const auto it = rank.open_reqs.find(req);
+          if (it != rank.open_reqs.end() && !available(it->second))
+            needs.push_back(it->second);
+        }
+        break;
+      default:
+        break;
+    }
+    return needs;
+  };
+
+  // Split the stuck ranks: a rank blocked SOLELY on the halted victim's
+  // dry channels holds an orphaned naked wait (the dedicated defect
+  // class); anything else is an ordinary deadlock among survivors.
+  std::vector<int> orphaned;
+  std::vector<int> deadlocked;
+  for (const int r : stuck) {
+    const std::vector<ChannelKey> needs = blockers(r);
+    const bool all_victim =
+        r != f.victim && !needs.empty() && victim_halted() &&
+        std::all_of(needs.begin(), needs.end(), [&](const ChannelKey& key) {
+          return std::get<0>(key) == f.victim;
+        });
+    (all_victim ? orphaned : deadlocked).push_back(r);
+  }
+
+  for (const int r : orphaned) {
+    Violation v;
+    v.kind = Violation::Kind::OrphanedWait;
+    v.message = "rank " + std::to_string(r) +
+                " blocks forever on rank " + std::to_string(f.victim) +
+                ", which died at step " + std::to_string(f.kill_step) +
+                " — the wait is not death-bounded, so recovery never runs";
+    trace_rank(s.ranks[static_cast<std::size_t>(r)],
+               st[static_cast<std::size_t>(r)].pc, &v.trace);
+    trace_rank(s.ranks[static_cast<std::size_t>(f.victim)], f.kill_step,
+               &v.trace);
+    out->push_back(std::move(v));
+  }
+  if (deadlocked.empty()) return;
+
+  Violation v;
+  v.kind = Violation::Kind::Deadlock;
+  bool victim_stuck = false;
+  for (const int r : deadlocked) {
+    if (r == f.victim) victim_stuck = true;
+    for (const ChannelKey& key : blockers(r)) {
+      const int src = std::get<0>(key);
+      const bool src_finished =
+          std::find(stuck.begin(), stuck.end(), src) == stuck.end();
+      v.trace.push_back("rank " + std::to_string(r) + " blocked on " +
+                        channel_str(key) +
+                        (src_finished ? " — source rank has FINISHED its "
+                                        "script (dropped send)"
+                                      : " — source rank is itself blocked"));
+    }
+    trace_rank(s.ranks[static_cast<std::size_t>(r)],
+               st[static_cast<std::size_t>(r)].pc, &v.trace);
+  }
+  v.message = std::to_string(deadlocked.size()) + " of " + std::to_string(p) +
+              " ranks cannot run to completion under the kill" +
+              (victim_stuck ? " (the victim cannot even reach its kill point)"
+                            : "");
+  out->push_back(std::move(v));
+}
+
 }  // namespace
 
 bool tag_registered(int tag) {
@@ -398,6 +706,8 @@ const char* to_string(Violation::Kind kind) {
       return "bad-wait";
     case Violation::Kind::Deadlock:
       return "deadlock";
+    case Violation::Kind::OrphanedWait:
+      return "orphaned-wait";
   }
   return "?";
 }
@@ -427,6 +737,25 @@ CheckReport check_schedule(const Schedule& s) {
   check_matching(s, &report.violations);
   check_discipline(s, &report.violations);
   check_progress(s, &report.violations);
+  return report;
+}
+
+CheckReport check_fault_schedule(const Schedule& s, const FaultScenario& f) {
+  PARSVD_REQUIRE(f.victim >= 0 && f.victim < s.size(),
+                 "fault checker: victim out of range");
+  CheckReport report;
+  report.schedule = s.name + f.suffix();
+  // Effective events: survivors' full scripts + the victim's pre-kill
+  // prefix (what the degraded execution actually runs).
+  report.events_checked = 0;
+  for (const CommScript& script : s.ranks) {
+    report.events_checked += rank_limit(s, script.rank(), f.victim,
+                                        f.kill_step);
+  }
+  check_tags(s, &report.violations);
+  check_fault_matching(s, f, &report.violations);
+  check_discipline(s, &report.violations, f.victim, f.kill_step);
+  check_fault_progress(s, f, &report.violations);
   return report;
 }
 

@@ -46,6 +46,7 @@ struct Violation {
     ChannelOverlap,   ///< concurrent receives share a channel
     BadWait,          ///< wait on an already-completed request
     Deadlock,         ///< cyclic wait-for (or stall on a finished peer)
+    OrphanedWait,     ///< naked (un-bounded) wait on a dead rank's channel
   };
   Kind kind;
   std::string message;             ///< one-line diagnosis
@@ -69,5 +70,23 @@ struct CheckReport {
 /// all land in the report (throws only on malformed CommScript data,
 /// e.g. a peer rank outside [0, P)).
 CheckReport check_schedule(const Schedule& s);
+
+/// Failure-space variant of check_schedule: run the four checks on the
+/// post-kill execution of `s` under `f` (DESIGN §13). The victim's
+/// script is truncated at f.kill_step; its executed events are real
+/// traffic, everything later vanishes. Quiescence demands:
+///   - sends from survivors to the victim may go unconsumed (they land
+///     in a dead mailbox) but any the victim DID consume pre-kill must
+///     byte-match;
+///   - a bounded receive on the dead victim's channel dead-resolves
+///     (progress without consumption) once the victim can post nothing
+///     further; a NAKED receive/wait in that position is OrphanedWait;
+///   - survivor<->survivor channels keep the full fault-free contract:
+///     byte-exact match-completeness, tag hygiene, channel discipline,
+///     and the greedy simulation must drain every survivor's script.
+/// A victim unable to reach its own kill point (stuck pre-kill) is
+/// reported as Deadlock: the scenario's pre-kill prefix must itself be
+/// executable.
+CheckReport check_fault_schedule(const Schedule& s, const FaultScenario& f);
 
 }  // namespace parsvd::verify

@@ -49,6 +49,7 @@ std::string to_string(const CommEvent& e) {
     out += ", tag=" + std::to_string(e.tag);
     out += e.bytes == kAnyBytes ? ", ? B" : ", " + std::to_string(e.bytes) + " B";
   }
+  if (e.bounded) out += ", bounded";
   out += ')';
   if (!e.note.empty()) {
     out += "  // ";
@@ -74,6 +75,18 @@ void CommScript::recv(int src, int tag, std::uint64_t bytes, std::string note) {
   e.peer = src;
   e.tag = tag;
   e.bytes = bytes;
+  e.note = std::move(note);
+  events_.push_back(std::move(e));
+}
+
+void CommScript::recv_bounded(int src, int tag, std::uint64_t bytes,
+                              std::string note) {
+  CommEvent e;
+  e.kind = CommEvent::Kind::Recv;
+  e.peer = src;
+  e.tag = tag;
+  e.bytes = bytes;
+  e.bounded = true;
   e.note = std::move(note);
   events_.push_back(std::move(e));
 }
@@ -108,6 +121,11 @@ void CommScript::wait_all(std::vector<int> reqs, std::string note) {
   e.reqs = std::move(reqs);
   e.note = std::move(note);
   events_.push_back(std::move(e));
+}
+
+std::string FaultScenario::suffix() const {
+  return " + kill(victim=" + std::to_string(victim) +
+         ", step=" + std::to_string(kill_step) + ")";
 }
 
 Schedule make_schedule(std::string name, int p) {

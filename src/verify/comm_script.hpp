@@ -37,6 +37,12 @@ struct CommEvent {
   std::uint64_t bytes = 0;  ///< payload bytes (kAnyBytes = unknown)
   int req = -1;             ///< IrecvPost: id it opens; Wait: id it closes
   std::vector<int> reqs;    ///< WaitAll: ids it closes
+  /// Recv only: the receive resolves when its source rank dies (the
+  /// _ft collectives' wait_scoped under a fault plan catches
+  /// RankDeadError / dead-resolves instead of blocking forever). A
+  /// naked (bounded=false) receive stuck on a dead source is the
+  /// OrphanedWait defect the fault checker exists to catch.
+  bool bounded = false;
   std::string note;         ///< human context for counterexample traces
 };
 
@@ -55,6 +61,11 @@ class CommScript {
 
   void send(int dest, int tag, std::uint64_t bytes, std::string note = "");
   void recv(int src, int tag, std::uint64_t bytes, std::string note = "");
+  /// A death-bounded blocking receive: resolves (without consuming)
+  /// once `src` is dead with nothing recoverable in flight — the FT
+  /// collectives' degraded-completion wait.
+  void recv_bounded(int src, int tag, std::uint64_t bytes,
+                    std::string note = "");
   /// Returns the request id for a later wait()/wait_all().
   int irecv(int src, int tag, std::uint64_t bytes, std::string note = "");
   void wait(int req, std::string note = "");
@@ -81,5 +92,22 @@ struct Schedule {
 
 /// A Schedule with one per-rank script builder per rank, ready to emit.
 Schedule make_schedule(std::string name, int p);
+
+/// A single-rank failure transition over a Schedule: `victim` executes
+/// exactly its first `kill_step` events, then dies. The event at index
+/// kill_step never starts — pmpi evaluates kills inside account_op,
+/// BEFORE the op posts a message or blocks, so a killing post neither
+/// delivers nor counts in the registry totals. kill_step >= the
+/// victim's event count (e.g. kNoKillStep) models a run the victim
+/// survives.
+struct FaultScenario {
+  int victim = -1;
+  std::size_t kill_step = 0;
+
+  std::string suffix() const;  ///< " + kill(victim=3, step=2)"
+};
+
+/// kill_step sentinel for "the victim never dies" (healthy emission).
+inline constexpr std::size_t kNoKillStep = ~std::size_t{0};
 
 }  // namespace parsvd::verify

@@ -1,0 +1,109 @@
+// Failure-space schedule emitters: one per fault-tolerant protocol.
+//
+// Each emitter rebuilds the degraded execution a single-rank kill
+// induces on an _ft protocol (pmpi gather_bytes_ft / bcast_bytes_ft /
+// allreduce_sum_ft, core tsqr_direct_ft, APMOS and streaming FT
+// branches) as plain CommScript data — same tags (pmpi/tags.hpp), same
+// framing (pack_matrix's 16-byte header), same program order, same
+// recovery decisions (skip-dead on gather results, is_dead guards on
+// broadcast) the production code makes. The kill itself is a
+// FaultScenario: the victim runs its first kill_step events, then
+// vanishes (DESIGN §13).
+//
+// Unlike the fault-free emitters, a degraded schedule is a function of
+// the scenario: which contributions the root collects decides the
+// stacked-QR extent, the slice sizes, the exclusion list and the
+// FaultReport. The emitters replay that dataflow and additionally
+// predict the observable side effects the cross-validation tests pin
+// to the real runtime:
+//   - effective registry totals (messages / bytes actually posted),
+//   - the FaultReport wire payload the root broadcasts,
+//   - whether the scenario is deterministic, i.e. free of the one
+//     benign race the runtime allows: a root-side is_dead() guard
+//     sampled while the kill is concurrent with the victim's matching
+//     receive. Racy scenarios are still CHECKED (the model takes the
+//     alive branch, which dominates traffic), but not cross-validated.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "verify/comm_script.hpp"
+
+namespace parsvd::verify {
+
+/// A degraded-mode schedule plus the scenario that shaped it and the
+/// runtime observables the model predicts for it.
+struct FaultSchedule {
+  Schedule schedule;       ///< victim's script = its full healthy program
+  FaultScenario scenario;  ///< the kill the survivors' scripts assume
+  /// False when a root is_dead() guard races the kill (see file
+  /// comment); such scenarios are model-checked but not byte-pinned.
+  bool deterministic = true;
+  std::uint64_t messages = 0;  ///< posts that execute under the kill
+  std::uint64_t bytes = 0;     ///< payload bytes of those posts
+  /// Predicted FaultReport::to_doubles() payload (APMOS / streaming
+  /// protocols only; empty for the bare collectives).
+  std::vector<double> report_flat;
+};
+
+/// pmpi gather_bytes_ft: non-roots post on tags::kFtGather, the root
+/// death-bounded-waits on every source in ascending rank order.
+FaultSchedule script_ft_gather(int p, int root,
+                               std::span<const std::uint64_t> bytes_per_rank,
+                               const FaultScenario& f);
+
+/// pmpi bcast_bytes_ft: the root posts tags::kFtBcast copies to every
+/// destination its is_dead() guard does not skip; non-roots block on a
+/// NAKED receive (the documented root-must-survive contract).
+FaultSchedule script_ft_bcast(int p, int root, std::uint64_t bytes,
+                              const FaultScenario& f);
+
+/// pmpi allreduce_sum_ft: gather_bytes_ft of the addends to the root,
+/// root sums the survivors, bcast_bytes_ft of the total.
+FaultSchedule script_ft_allreduce(int p, int root, std::size_t n_doubles,
+                                  const FaultScenario& f);
+
+/// core tsqr_direct_ft (root = rank 0): FT gather of the local R
+/// factors, stacked QR over the survivors, Q row-slices sent back to
+/// the contributing survivors only, then FT broadcasts of the final R
+/// and the exclusion list. The victim must be a non-root rank.
+FaultSchedule script_ft_tsqr_direct(std::span<const std::int64_t> rows_by_rank,
+                                    std::int64_t k, const FaultScenario& f);
+
+/// core apmos_svd FT branch (root = rank 0): FT gather of the
+/// header+W payloads, root SVD over the surviving stack, FT broadcasts
+/// of X, Λ and the FaultReport. The victim must be a non-root rank.
+FaultSchedule script_ft_apmos(std::span<const std::int64_t> rows_by_rank,
+                              std::int64_t n_cols, std::int64_t r1,
+                              std::int64_t r2, const FaultScenario& f);
+
+/// Shape of a ParallelStreamingSVD FT run for the update-loop emitter.
+struct StreamingShape {
+  std::vector<std::int64_t> rows_by_rank;
+  std::int64_t num_modes = 2;  ///< K — modes retained per update
+  std::int64_t batch_cols = 2; ///< B — columns in every update batch
+  int rounds = 1;              ///< update() calls modelled
+  /// Columns of u_local_ entering the first modelled update (the keep
+  /// count initialize() produced). Defaults to num_modes, which is
+  /// exact whenever the initialize batch had >= num_modes columns.
+  std::int64_t start_cols = -1;
+  /// Energy ledger inputs for exact FaultReport coverage prediction:
+  /// per-rank ||initialize batch||_F^2, then per-round per-rank update
+  /// energies. Leave empty to default every entry to 1.0 (sweep mode,
+  /// where only the report's SIZE is load-bearing).
+  std::vector<double> init_energy;
+  std::vector<std::vector<double>> round_energy;
+};
+
+/// core parallel_streaming.cpp FT update loop (root = rank 0), `rounds`
+/// updates after a healthy initialize. Per round: FT energy gather,
+/// tsqr_direct_ft on [discounted modes | batch], u_small / singular
+/// value FT broadcasts, FT mode gather, FaultReport FT broadcast. The
+/// victim must be a non-root rank; report_flat is the LAST round's
+/// report payload.
+FaultSchedule script_ft_streaming_updates(const StreamingShape& shape,
+                                          const FaultScenario& f);
+
+}  // namespace parsvd::verify

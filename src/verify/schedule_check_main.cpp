@@ -10,10 +10,22 @@
 // its own tag scope, and the partition is checked as one world
 // schedule — proving sibling groups cannot interfere by construction.
 //
+// The --faults mode sweeps the FAILURE space instead (DESIGN §13):
+// every FT protocol × P in [1, 32] × every non-root victim × every
+// single-rank kill point, each scenario checked for degraded-mode
+// quiescence with check_fault_schedule, plus the healthy (victim
+// survives) emission of every degraded schedule. Seeded recovery-path
+// defects self-test the fault checker the same way seeded_defects()
+// self-tests the fault-free one.
+//
 //   schedule_check            full sweep (world + groups) + selftest
 //   schedule_check --smoke    reduced rank set (CI gate)
 //   schedule_check --groups   subgroup-partition sweep only (+ selftest)
 //   schedule_check --selftest seeded-defect detection only
+//   schedule_check --faults   failure-space sweep + fault selftest;
+//                             --proto=<gather|bcast|allreduce|tsqr|
+//                             apmos|streaming> restricts to one
+//                             protocol family (the CI shard axis)
 //
 // Exit code 0 iff every real schedule passes AND every seeded defect is
 // caught with the expected violation kind.
@@ -26,6 +38,7 @@
 #include <vector>
 
 #include "verify/checker.hpp"
+#include "verify/fault_schedules.hpp"
 #include "verify/schedules.hpp"
 #include "verify/selftest.hpp"
 
@@ -196,6 +209,201 @@ bool run_sweep(bool smoke, bool groups_only) {
   return stats.failures == 0;
 }
 
+// ------------------------------------------------- failure-space sweep
+
+/// Check one degraded schedule; racy scenarios (a root is_dead() guard
+/// concurrent with the kill) are counted but still checked — the model
+/// commits to the traffic-dominating alive branch.
+void run_fault_check(const FaultSchedule& fs, SweepStats* stats,
+                     std::size_t* racy) {
+  const CheckReport report = check_fault_schedule(fs.schedule, fs.scenario);
+  ++stats->schedules;
+  stats->events += report.events_checked;
+  if (!fs.deterministic) ++*racy;
+  if (!report.ok()) {
+    ++stats->failures;
+    std::cerr << report.to_string();
+  }
+}
+
+/// Enumerate every kill point of one (protocol, victim) pair: emit the
+/// healthy scenario once to learn the victim's event count, check it,
+/// then check the kill at every step before each of those events.
+template <typename Emit>
+void sweep_kill_points(Emit&& emit, int victim, SweepStats* stats,
+                       std::size_t* racy) {
+  const FaultSchedule healthy = emit(FaultScenario{victim, kNoKillStep});
+  const std::size_t n =
+      healthy.schedule.ranks[static_cast<std::size_t>(victim)].events().size();
+  run_fault_check(healthy, stats, racy);
+  for (std::size_t step = 0; step < n; ++step) {
+    run_fault_check(emit(FaultScenario{victim, step}), stats, racy);
+  }
+}
+
+bool proto_enabled(const std::string& filter, const char* name) {
+  return filter.empty() || filter == name;
+}
+
+/// All FT protocols × P in [1, 32] × every non-root victim × every
+/// kill point. Root victims are excluded by contract — every _ft
+/// collective documents root-must-survive; the seeded ft defects cover
+/// what the checker reports when that contract is broken. P=1 runs no
+/// wire protocol, so the sweep starts at the first p with a victim.
+bool run_fault_sweep(bool smoke, const std::string& proto) {
+  SweepStats stats;
+  std::size_t racy = 0;
+
+  std::vector<int> ps;
+  if (smoke) {
+    ps = {2, 3, 4, 5, 8, 16, 32};
+  } else {
+    for (int p = 2; p <= 32; ++p) ps.push_back(p);
+  }
+
+  for (const int p : ps) {
+    std::vector<int> roots{0};
+    if (p > 2) roots.push_back(p - 1);
+    if (p > 4) roots.push_back(p / 2);
+
+    if (proto_enabled(proto, "gather")) {
+      std::vector<std::uint64_t> bytes(static_cast<std::size_t>(p));
+      for (int r = 0; r < p; ++r) {
+        bytes[static_cast<std::size_t>(r)] =
+            24 + 8 * static_cast<std::uint64_t>(r);
+      }
+      for (const int root : roots) {
+        for (int v = 0; v < p; ++v) {
+          if (v == root) continue;
+          sweep_kill_points(
+              [&](FaultScenario f) { return script_ft_gather(p, root, bytes, f); },
+              v, &stats, &racy);
+        }
+      }
+    }
+    if (proto_enabled(proto, "bcast")) {
+      for (const int root : roots) {
+        for (int v = 0; v < p; ++v) {
+          if (v == root) continue;
+          sweep_kill_points(
+              [&](FaultScenario f) { return script_ft_bcast(p, root, 4096, f); },
+              v, &stats, &racy);
+        }
+      }
+    }
+    if (proto_enabled(proto, "allreduce")) {
+      for (const int root : roots) {
+        for (int v = 0; v < p; ++v) {
+          if (v == root) continue;
+          sweep_kill_points(
+              [&](FaultScenario f) {
+                return script_ft_allreduce(p, root, 6, f);
+              },
+              v, &stats, &racy);
+        }
+      }
+    }
+    if (proto_enabled(proto, "tsqr")) {
+      for (const std::int64_t k : {std::int64_t{3}, std::int64_t{5}}) {
+        // Uniform tall panels, and a ragged layout with some blocks
+        // shorter than k so the min(rows, k) extents are exercised.
+        std::vector<std::int64_t> uniform(static_cast<std::size_t>(p), k + 2);
+        std::vector<std::int64_t> ragged(static_cast<std::size_t>(p));
+        for (int r = 0; r < p; ++r) {
+          ragged[static_cast<std::size_t>(r)] = 2 + (r % 5);
+        }
+        for (const auto& rows : {uniform, ragged}) {
+          for (int v = 1; v < p; ++v) {
+            sweep_kill_points(
+                [&](FaultScenario f) {
+                  return script_ft_tsqr_direct(rows, k, f);
+                },
+                v, &stats, &racy);
+          }
+        }
+      }
+    }
+    if (proto_enabled(proto, "apmos")) {
+      struct ApmosShape {
+        std::int64_t n_cols, r1, r2;
+      };
+      for (const ApmosShape& sh : {ApmosShape{6, 3, 2}, ApmosShape{4, 5, 4}}) {
+        std::vector<std::int64_t> rows(static_cast<std::size_t>(p));
+        for (int r = 0; r < p; ++r) {
+          rows[static_cast<std::size_t>(r)] = 3 + (r % 4);
+        }
+        for (int v = 1; v < p; ++v) {
+          sweep_kill_points(
+              [&](FaultScenario f) {
+                return script_ft_apmos(rows, sh.n_cols, sh.r1, sh.r2, f);
+              },
+              v, &stats, &racy);
+        }
+      }
+    }
+    if (proto_enabled(proto, "streaming")) {
+      struct StreamKB {
+        std::int64_t num_modes, batch_cols;
+      };
+      for (const StreamKB& kb : {StreamKB{2, 2}, StreamKB{3, 1}}) {
+        for (int rounds = 1; rounds <= 4; ++rounds) {
+          StreamingShape shape;
+          shape.rows_by_rank.resize(static_cast<std::size_t>(p));
+          for (int r = 0; r < p; ++r) {
+            shape.rows_by_rank[static_cast<std::size_t>(r)] = 4 + (r % 3);
+          }
+          shape.num_modes = kb.num_modes;
+          shape.batch_cols = kb.batch_cols;
+          shape.rounds = rounds;
+          for (int v = 1; v < p; ++v) {
+            sweep_kill_points(
+                [&](FaultScenario f) {
+                  return script_ft_streaming_updates(shape, f);
+                },
+                v, &stats, &racy);
+          }
+        }
+      }
+    }
+  }
+
+  std::cout << "schedule_check --faults: " << stats.schedules
+            << " scenarios (" << racy << " racy), " << stats.events
+            << " events, " << stats.failures << " failure(s)"
+            << (proto.empty() ? "" : " [proto=" + proto + "]")
+            << (smoke ? " [smoke]" : "") << "\n";
+  return stats.failures == 0;
+}
+
+bool run_fault_selftest() {
+  bool ok = true;
+  for (const SeededFaultDefect& defect : seeded_fault_defects()) {
+    const CheckReport report =
+        check_fault_schedule(defect.schedule, defect.scenario);
+    bool found = false;
+    for (const Violation& v : report.violations) {
+      if (v.kind == defect.expected) found = true;
+    }
+    std::cout << "--- seeded fault defect: " << defect.schedule.name
+              << defect.scenario.suffix() << " (expect "
+              << to_string(defect.expected) << ")\n";
+    if (report.ok()) {
+      std::cout << "NOT DETECTED — fault checker is unsound for this class\n";
+      ok = false;
+    } else {
+      std::cout << report.to_string();
+      if (!found) {
+        std::cout << "detected, but without the expected "
+                  << to_string(defect.expected) << " violation\n";
+        ok = false;
+      }
+    }
+  }
+  std::cout << (ok ? "fault selftest: all seeded defects detected\n"
+                   : "fault selftest: FAILED\n");
+  return ok;
+}
+
 bool run_selftest() {
   bool ok = true;
   for (const SeededDefect& defect : seeded_defects()) {
@@ -229,6 +437,8 @@ int main(int argc, char** argv) {
   bool smoke = false;
   bool selftest_only = false;
   bool groups_only = false;
+  bool faults = false;
+  std::string proto;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
@@ -236,10 +446,20 @@ int main(int argc, char** argv) {
       selftest_only = true;
     } else if (std::strcmp(argv[i], "--groups") == 0) {
       groups_only = true;
+    } else if (std::strcmp(argv[i], "--faults") == 0) {
+      faults = true;
+    } else if (std::strncmp(argv[i], "--proto=", 8) == 0) {
+      proto = argv[i] + 8;
     } else {
-      std::cerr << "usage: schedule_check [--smoke] [--groups|--selftest]\n";
+      std::cerr << "usage: schedule_check [--smoke] "
+                   "[--groups|--selftest|--faults [--proto=NAME]]\n";
       return 2;
     }
+  }
+  if (faults) {
+    bool ok = run_fault_sweep(smoke, proto);
+    ok = run_fault_selftest() && ok;
+    return ok ? 0 : 1;
   }
   bool ok = true;
   if (!selftest_only) ok = run_sweep(smoke, groups_only) && ok;

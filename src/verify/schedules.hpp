@@ -8,8 +8,11 @@
 // match-complete and deadlock-free without running a single thread.
 //
 // Scope: the fault-FREE protocols. The degraded-mode (_ft) collectives
-// react to deaths observed at runtime, so their schedules are not pure
-// functions of (rank, P) and are out of the static model (DESIGN §8).
+// react to deaths observed at runtime, so their schedules are pure
+// functions of (rank, P) only once the failure is part of the input —
+// verify/fault_schedules.hpp emits them conditioned on a
+// (victim, kill_step) scenario, and schedule_check --faults sweeps that
+// failure space (DESIGN §13).
 #pragma once
 
 #include <cstdint>

@@ -96,6 +96,83 @@ SeededDefect scoped_rogue_tag() {
   return {std::move(s), Violation::Kind::UnregisteredTag};
 }
 
+// ----------------------------------------------- seeded FAULT defects
+// Each schedule is healthy under check_schedule; the defect only
+// surfaces once the paired kill truncates the victim. They mirror the
+// recovery-path bug classes DESIGN §13 enumerates.
+
+/// The root waits for a possibly-dead child with a NAKED receive — the
+/// un-watchdogged wait the `ft-wait` lint rule bans. With rank 1 dead
+/// before its post, recovery never runs: OrphanedWait.
+SeededFaultDefect ft_naked_wait() {
+  Schedule s = make_schedule("bad:ft-naked-wait (un-watchdogged gather root)", 3);
+  s.ranks[1].send(0, tags::kFtGather, 64, "contribution");
+  s.ranks[2].send(0, tags::kFtGather, 64, "contribution");
+  s.ranks[0].recv(1, tags::kFtGather, 64,
+                  "NAKED wait on a possibly-dead child — the defect");
+  s.ranks[0].recv_bounded(2, tags::kFtGather, 64, "bounded wait");
+  return {std::move(s), {/*victim=*/1, /*kill_step=*/0},
+          Violation::Kind::OrphanedWait};
+}
+
+/// Recovery asks the surviving rank to retransmit the dead rank's slot
+/// but reframes it with an 8-byte repair header — on the SAME channel
+/// the survivor's own contribution used. The FIFO pairing of the live
+/// channel breaks: ByteMismatch.
+SeededFaultDefect ft_retransmit_reframed() {
+  Schedule s =
+      make_schedule("bad:ft-retransmit-reframed (recovery reframes a live "
+                    "channel)", 3);
+  s.ranks[1].send(0, tags::kFtGather, 64, "contribution");
+  s.ranks[2].send(0, tags::kFtGather, 64, "contribution");
+  s.ranks[2].send(0, tags::kFtGather, 72,
+                  "retransmit of rank 1's slot, +8 B repair header — the "
+                  "defect");
+  s.ranks[0].recv_bounded(1, tags::kFtGather, 64, "bounded wait");
+  s.ranks[0].recv_bounded(2, tags::kFtGather, 64, "bounded wait");
+  s.ranks[0].recv(2, tags::kFtGather, 64,
+                  "recovery consume — expects original framing");
+  return {std::move(s), {/*victim=*/1, /*kill_step=*/0},
+          Violation::Kind::ByteMismatch};
+}
+
+/// After observing the death, root's recovery release loop strides by
+/// two and never releases rank 3 — a LIVE survivor stuck on a live but
+/// finished peer: Deadlock (not OrphanedWait; the victim is not what
+/// rank 3 waits on).
+SeededFaultDefect ft_skipped_release() {
+  Schedule s = make_schedule(
+      "bad:ft-skipped-release (recovery forgets a live survivor)", 4);
+  for (int src = 1; src < 4; ++src) {
+    s.ranks[src].send(0, tags::kFtGather, 32, "contribution");
+  }
+  for (int src = 1; src < 4; ++src) {
+    s.ranks[0].recv_bounded(src, tags::kFtGather, 32, "bounded wait");
+  }
+  s.ranks[0].send(2, tags::kFtBcast, 16, "release (loop strides by 2)");
+  s.ranks[2].recv(0, tags::kFtBcast, 16, "release");
+  s.ranks[3].recv(0, tags::kFtBcast, 16, "release — never sent: the defect");
+  return {std::move(s), {/*victim=*/1, /*kill_step=*/0},
+          Violation::Kind::Deadlock};
+}
+
+/// The victim's contribution DID execute before the kill, but root's
+/// recovery drops the slot entirely (it skips every rank it later
+/// learns is dead, consumed or not): the delivered bytes rot in root's
+/// mailbox — UnmatchedSend.
+SeededFaultDefect ft_dropped_contribution() {
+  Schedule s = make_schedule(
+      "bad:ft-dropped-contribution (root forgets the victim's delivered "
+      "slot)", 3);
+  s.ranks[1].send(0, tags::kFtGather, 64,
+                  "contribution — executes before the kill");
+  s.ranks[2].send(0, tags::kFtGather, 64, "contribution");
+  s.ranks[0].recv_bounded(2, tags::kFtGather, 64,
+                          "bounded wait (rank 1's slot skipped — the defect)");
+  return {std::move(s), {/*victim=*/1, /*kill_step=*/1},
+          Violation::Kind::UnmatchedSend};
+}
+
 }  // namespace
 
 std::vector<SeededDefect> seeded_defects() {
@@ -107,6 +184,15 @@ std::vector<SeededDefect> seeded_defects() {
   out.push_back(byte_mismatch());
   out.push_back(unscoped_group_tag());
   out.push_back(scoped_rogue_tag());
+  return out;
+}
+
+std::vector<SeededFaultDefect> seeded_fault_defects() {
+  std::vector<SeededFaultDefect> out;
+  out.push_back(ft_naked_wait());
+  out.push_back(ft_retransmit_reframed());
+  out.push_back(ft_skipped_release());
+  out.push_back(ft_dropped_contribution());
   return out;
 }
 

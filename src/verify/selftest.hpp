@@ -24,4 +24,21 @@ struct SeededDefect {
 /// hiding inside a group-scoped band.
 std::vector<SeededDefect> seeded_defects();
 
+/// A seeded defect in a RECOVERY path: the schedule only misbehaves
+/// under the given kill, so it exercises check_fault_schedule rather
+/// than check_schedule.
+struct SeededFaultDefect {
+  Schedule schedule;
+  FaultScenario scenario;
+  Violation::Kind expected;
+};
+
+/// One scenario per fault-checker defect class: a naked
+/// (un-watchdogged) wait on a dead parent, a recovery retransmit that
+/// reframes a live channel, a recovery release loop that skips a live
+/// survivor, and a root that forgets the victim's pre-kill
+/// contribution. Shared by `schedule_check --faults` and the golden
+/// counterexample-trace tests in tests/test_faultcheck.cpp.
+std::vector<SeededFaultDefect> seeded_fault_defects();
+
 }  // namespace parsvd::verify

@@ -1,0 +1,32 @@
+// Lint fixture — NOT compiled. The naked waits inside the *_ft
+// collective must each produce a [ft-wait] finding: the peer may be
+// dead, so every wait in a fault-tolerant collective must sit inside a
+// try/catch (RankDeadError) block (death-bounded, dead-resolves into
+// exclusion) or carry the root-must-survive marker. A survivor parked
+// on a rank that died before posting hangs forever — exactly the
+// orphaned-wait class schedule_check --faults proves the shipped
+// protocols free of.
+#include "pmpi/comm.hpp"
+#include "pmpi/tags.hpp"
+
+namespace parsvd {
+
+std::vector<std::vector<std::byte>> broken_gather_ft(
+    pmpi::Communicator& comm) {
+  std::vector<std::vector<std::byte>> out;
+  for (int src = 1; src < comm.size(); ++src) {
+    // Naked wait on a possibly-dead contributor — the defect.
+    out.push_back(comm.wait_scoped(src, pmpi::tags::kFtGather));
+  }
+  // Death-bounded sibling: this one is correct and must NOT be flagged.
+  try {
+    out.push_back(comm.wait_scoped(0, pmpi::tags::kFtGather));
+  } catch (const pmpi::RankDeadError&) {
+  }
+  // Naked recv of the recovery slice from a non-root peer — the defect.
+  Matrix slice = comm.recv_matrix(comm.size() - 1, pmpi::tags::kFtBcast);
+  (void)slice;
+  return out;
+}
+
+}  // namespace parsvd

@@ -1,0 +1,105 @@
+"""Shared claim-gating plumbing for the check_bench_* CI gates.
+
+Every gate follows the same shape: load a fresh artifact (usually a
+--smoke run) and the committed trajectory, validate both envelopes
+against the bench's schema, check the committed run's acceptance claims,
+then compare the deterministic counters of every entry present in BOTH
+files — exact for arithmetic models, within a tolerance for seeded
+residuals — because wall-clock timing can never gate on a noisy shared
+runner. This module owns the bench-agnostic half of that shape; the
+per-bench claim logic stays in the individual scripts.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_record(path, bench, schema_version, required_top, sections=None):
+    """Parse a bench JSON artifact and validate its envelope.
+
+    `required_top` lists the mandatory top-level keys; `sections` maps a
+    top-level list-valued key to the keys every entry of that list must
+    carry. Any violation is a gate failure, not an exception.
+    """
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+    for key in required_top:
+        if key not in doc:
+            fail(f"{path}: missing key '{key}'")
+    if doc["bench"] != bench or doc["schema_version"] != schema_version:
+        fail(f"{path}: not a schema_version-{schema_version} {bench} record")
+    for section, required in (sections or {}).items():
+        for i, entry in enumerate(doc[section]):
+            for key in required:
+                if key not in entry:
+                    fail(f"{path}: {section}[{i}] missing '{key}'")
+    return doc
+
+
+def parse_gate_args(argv, usage, flags=None):
+    """Split --name=value flags from the two positional artifact paths.
+
+    `flags` maps a flag name to (converter, default). Returns
+    (fresh_path, committed_path, values). Exits 2 with `usage` on a
+    wrong path count or an unknown flag.
+    """
+    values = {name: default for name, (_, default) in (flags or {}).items()}
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--") and "=" in arg:
+            name, raw = arg[2:].split("=", 1)
+            if flags is None or name not in flags:
+                print(usage, file=sys.stderr)
+                sys.exit(2)
+            values[name] = flags[name][0](raw)
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        print(usage, file=sys.stderr)
+        sys.exit(2)
+    return paths[0], paths[1], values
+
+
+def match_entries(fresh_entries, committed_entries, key):
+    """(key, fresh, committed) for entries present in BOTH lists."""
+    committed_by_key = {key(e): e for e in committed_entries}
+    for e in fresh_entries:
+        ref = committed_by_key.get(key(e))
+        if ref is not None:
+            yield key(e), e, ref
+
+
+def gate_exact(entry_key, counter, a, b, what="drifted"):
+    """Deterministic counters (flop models, byte counts) must agree
+    exactly between runs — any drift means the code changed shape."""
+    if a != b:
+        fail(f"{entry_key}: {counter} {what} {a:.4g} vs committed {b:.4g}")
+
+
+def gate_within(entry_key, counter, a, b, tolerance, what="regressed"):
+    """Seeded-but-noisy counters must agree within a relative tolerance.
+    A (0, 0) pair is agreement, not a division by zero."""
+    if a == b == 0:
+        return
+    denom = max(abs(a), abs(b), 1e-300)
+    if abs(a - b) / denom > tolerance:
+        fail(
+            f"{entry_key}: {counter} {what} {a:.6g} vs committed {b:.6g} "
+            f"(> {tolerance * 100:.0f}%)"
+        )
+
+
+def require_compared(compared: int) -> None:
+    """A gate that matched nothing gates nothing — that is a failure."""
+    if compared == 0:
+        fail("no comparable entries between fresh and committed runs")

@@ -18,8 +18,10 @@ against the committed trajectory:
 Usage: check_bench_comm.py FRESH_JSON COMMITTED_JSON [--tolerance=0.25]
 """
 
-import json
 import sys
+
+import benchlib
+from benchlib import fail
 
 REQUIRED_TOP = [
     "bench",
@@ -43,27 +45,9 @@ REQUIRED_ENTRY = [
 GATED_COUNTERS = ["bytes_per_round", "messages_per_round", "root_bytes_per_round"]
 
 
-def fail(msg):
-    print(f"FAIL: {msg}", file=sys.stderr)
-    sys.exit(1)
-
-
 def load(path):
-    try:
-        with open(path, encoding="utf-8") as f:
-            doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        fail(f"{path}: {e}")
-    for key in REQUIRED_TOP:
-        if key not in doc:
-            fail(f"{path}: missing key '{key}'")
-    if doc["bench"] != "comm" or doc["schema_version"] != 1:
-        fail(f"{path}: not a schema_version-1 comm record")
-    for i, entry in enumerate(doc["collectives"]):
-        for key in REQUIRED_ENTRY:
-            if key not in entry:
-                fail(f"{path}: collectives[{i}] missing '{key}'")
-    return doc
+    return benchlib.load_record(
+        path, "comm", 1, REQUIRED_TOP, {"collectives": REQUIRED_ENTRY})
 
 
 def entry_key(e):
@@ -71,18 +55,11 @@ def entry_key(e):
 
 
 def main(argv):
-    tolerance = 0.25
-    paths = []
-    for arg in argv[1:]:
-        if arg.startswith("--tolerance="):
-            tolerance = float(arg.split("=", 1)[1])
-        else:
-            paths.append(arg)
-    if len(paths) != 2:
-        print(__doc__, file=sys.stderr)
-        return 2
-    fresh = load(paths[0])
-    committed = load(paths[1])
+    fresh_path, committed_path, opts = benchlib.parse_gate_args(
+        argv, __doc__, {"tolerance": (float, 0.25)})
+    tolerance = opts["tolerance"]
+    fresh = load(fresh_path)
+    committed = load(committed_path)
 
     claim = committed["claim_tree_beats_flat"]
     if not claim.get("holds"):
@@ -103,25 +80,14 @@ def main(argv):
     if not committed["prefetch_zero_latency"].get("bit_identical"):
         fail("committed trajectory: zero-latency prefetch not bit-identical")
 
-    committed_by_key = {entry_key(e): e for e in committed["collectives"]}
     compared = 0
-    for e in fresh["collectives"]:
-        ref = committed_by_key.get(entry_key(e))
-        if ref is None:
-            continue
+    for key, e, ref in benchlib.match_entries(
+            fresh["collectives"], committed["collectives"], entry_key):
         for counter in GATED_COUNTERS:
-            a, b = e[counter], ref[counter]
-            if a == b == 0:
-                continue
-            denom = max(abs(a), abs(b))
-            if abs(a - b) / denom > tolerance:
-                fail(
-                    f"{entry_key(e)}: {counter} regressed "
-                    f"{a:.1f} vs committed {b:.1f} (> {tolerance * 100:.0f}%)"
-                )
+            benchlib.gate_within(key, counter, e[counter], ref[counter],
+                                 tolerance)
         compared += 1
-    if compared == 0:
-        fail("no comparable collective entries between fresh and committed runs")
+    benchlib.require_compared(compared)
 
     if not fresh["prefetch"].get("bit_identical"):
         fail("fresh run: prefetch results not bit-identical")

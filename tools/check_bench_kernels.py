@@ -29,8 +29,10 @@ against the committed full-size trajectory:
 Usage: check_bench_kernels.py FRESH_JSON COMMITTED_JSON
 """
 
-import json
 import sys
+
+import benchlib
+from benchlib import fail
 
 REQUIRED_TOP = [
     "bench",
@@ -73,22 +75,9 @@ MIXED_SPEEDUP_BAR = 1.2
 SIGMA_REL_ERR_BAR = 1e-10
 
 
-def fail(msg):
-    print(f"FAIL: {msg}", file=sys.stderr)
-    sys.exit(1)
-
-
 def load(path):
-    try:
-        with open(path, encoding="utf-8") as f:
-            doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        fail(f"{path}: {e}")
-    for key in REQUIRED_TOP:
-        if key not in doc:
-            fail(f"{path}: missing key '{key}'")
-    if doc["bench"] != "kernels" or doc["schema_version"] != 2:
-        fail(f"{path}: not a schema_version-2 kernels record")
+    doc = benchlib.load_record(
+        path, "kernels", 2, REQUIRED_TOP, {"results": REQUIRED_RESULT})
     blocking = doc["blocking"]
     for prec in ("f64", "f32"):
         if prec not in blocking:
@@ -100,10 +89,6 @@ def load(path):
         fail(f"{path}: blocking.qr_block missing or not an int")
     if "tuned" not in blocking:
         fail(f"{path}: blocking.tuned missing")
-    for i, entry in enumerate(doc["results"]):
-        for key in REQUIRED_RESULT:
-            if key not in entry:
-                fail(f"{path}: results[{i}] missing '{key}'")
     if doc["failures"] != 0:
         fail(f"{path}: {doc['failures']} correctness failures recorded")
     # Honesty gate (the bug this schema revision fixed): a smoke run has
@@ -203,30 +188,19 @@ def check_committed_claims(doc):
 
 
 def main(argv):
-    paths = [a for a in argv[1:] if not a.startswith("--")]
-    if len(paths) != 2:
-        print(__doc__, file=sys.stderr)
-        return 2
-    fresh = load(paths[0])
-    committed = load(paths[1])
+    fresh_path, committed_path, _ = benchlib.parse_gate_args(argv, __doc__)
+    fresh = load(fresh_path)
+    committed = load(committed_path)
     check_committed_claims(committed)
 
     compared = 0
-    committed_results = {result_key(e): e for e in committed["results"]}
-    for e in fresh["results"]:
-        ref = committed_results.get(result_key(e))
-        if ref is None:
-            continue
+    for key, e, ref in benchlib.match_entries(
+            fresh["results"], committed["results"], result_key):
         # The flop model is an exact function of (kernel, shape): any
         # drift means a kernel changed its arithmetic.
-        if e["flops"] != ref["flops"]:
-            fail(
-                f"{result_key(e)}: flop model drifted "
-                f"{e['flops']:.4g} vs committed {ref['flops']:.4g}"
-            )
+        benchlib.gate_exact(key, "flop model", e["flops"], ref["flops"])
         compared += 1
-    if compared == 0:
-        fail("no comparable entries between fresh and committed runs")
+    benchlib.require_compared(compared)
 
     print(
         f"OK: {compared} matched entries, claims hold (packed "

@@ -25,6 +25,9 @@ Usage: check_bench_obs.py FRESH_JSON COMMITTED_JSON [--trace=TRACE.json]
 import json
 import sys
 
+import benchlib
+from benchlib import fail
+
 REQUIRED = [
     "bench",
     "schema_version",
@@ -43,23 +46,8 @@ COMMITTED_OVERHEAD_PCT = 2.0
 COVERAGE_FLOOR_PCT = 95.0
 
 
-def fail(msg):
-    print(f"FAIL: {msg}", file=sys.stderr)
-    sys.exit(1)
-
-
 def load(path):
-    try:
-        with open(path, encoding="utf-8") as f:
-            doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        fail(f"{path}: {e}")
-    for key in REQUIRED:
-        if key not in doc:
-            fail(f"{path}: missing key '{key}'")
-    if doc["bench"] != "obs" or doc["schema_version"] != 1:
-        fail(f"{path}: not a schema_version-1 obs record")
-    return doc
+    return benchlib.load_record(path, "obs", 1, REQUIRED)
 
 
 def check_invariants(path, doc):
@@ -112,33 +100,25 @@ def check_trace(path, ranks):
 
 
 def main(argv):
-    trace_path = None
-    paths = []
-    for arg in argv[1:]:
-        if arg.startswith("--trace="):
-            trace_path = arg.split("=", 1)[1]
-        else:
-            paths.append(arg)
-    if len(paths) != 2:
-        print(__doc__, file=sys.stderr)
-        return 2
-    fresh = load(paths[0])
-    committed = load(paths[1])
+    fresh_path, committed_path, opts = benchlib.parse_gate_args(
+        argv, __doc__, {"trace": (str, None)})
+    fresh = load(fresh_path)
+    committed = load(committed_path)
 
     if committed["smoke"]:
         fail("committed artifact: must come from the full-size sweep, not --smoke")
-    check_invariants(paths[1], committed)
+    check_invariants(committed_path, committed)
     if committed["overhead_pct"] >= COMMITTED_OVERHEAD_PCT:
         fail(
             f"committed artifact: armed overhead {committed['overhead_pct']:.2f}% "
             f"exceeds the {COMMITTED_OVERHEAD_PCT:.0f}% acceptance target"
         )
 
-    check_invariants(paths[0], fresh)
+    check_invariants(fresh_path, fresh)
 
     trace_note = ""
-    if trace_path is not None:
-        spans = check_trace(trace_path, fresh["ranks"])
+    if opts["trace"] is not None:
+        spans = check_trace(opts["trace"], fresh["ranks"])
         trace_note = f", trace artifact valid ({spans} spans)"
 
     print(

@@ -22,8 +22,10 @@ against the committed trajectory:
 Usage: check_bench_sketch.py FRESH_JSON COMMITTED_JSON [--tolerance=0.25]
 """
 
-import json
 import sys
+
+import benchlib
+from benchlib import fail
 
 REQUIRED_TOP = [
     "bench",
@@ -44,31 +46,14 @@ REQUIRED_DISTRIBUTED = ["kind", "ranks", "rows", "cols", "sketch_dim", "max_err"
 CLAIM_POINT = {"m": 4096, "n": 2048, "k": 64}
 
 
-def fail(msg):
-    print(f"FAIL: {msg}", file=sys.stderr)
-    sys.exit(1)
-
-
 def load(path):
-    try:
-        with open(path, encoding="utf-8") as f:
-            doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        fail(f"{path}: {e}")
-    for key in REQUIRED_TOP:
-        if key not in doc:
-            fail(f"{path}: missing key '{key}'")
-    if doc["bench"] != "sketch" or doc["schema_version"] != 1:
-        fail(f"{path}: not a schema_version-1 sketch record")
-    for section, required in (
-        ("apply", REQUIRED_APPLY),
-        ("accuracy", REQUIRED_ACCURACY),
-        ("distributed", REQUIRED_DISTRIBUTED),
-    ):
-        for i, entry in enumerate(doc[section]):
-            for key in required:
-                if key not in entry:
-                    fail(f"{path}: {section}[{i}] missing '{key}'")
+    doc = benchlib.load_record(
+        path, "sketch", 1, REQUIRED_TOP,
+        {
+            "apply": REQUIRED_APPLY,
+            "accuracy": REQUIRED_ACCURACY,
+            "distributed": REQUIRED_DISTRIBUTED,
+        })
     if doc["failures"] != 0:
         fail(f"{path}: {doc['failures']} correctness failures recorded")
     return doc
@@ -83,18 +68,11 @@ def accuracy_key(e):
 
 
 def main(argv):
-    tolerance = 0.25
-    paths = []
-    for arg in argv[1:]:
-        if arg.startswith("--tolerance="):
-            tolerance = float(arg.split("=", 1)[1])
-        else:
-            paths.append(arg)
-    if len(paths) != 2:
-        print(__doc__, file=sys.stderr)
-        return 2
-    fresh = load(paths[0])
-    committed = load(paths[1])
+    fresh_path, committed_path, opts = benchlib.parse_gate_args(
+        argv, __doc__, {"tolerance": (float, 0.25)})
+    tolerance = opts["tolerance"]
+    fresh = load(fresh_path)
+    committed = load(committed_path)
 
     speed = committed["claim_structured_beats_dense"]
     if not speed.get("holds"):
@@ -119,34 +97,18 @@ def main(argv):
         )
 
     compared = 0
-    committed_apply = {apply_key(e): e for e in committed["apply"]}
-    for e in fresh["apply"]:
-        ref = committed_apply.get(apply_key(e))
-        if ref is None:
-            continue
+    for key, e, ref in benchlib.match_entries(
+            fresh["apply"], committed["apply"], apply_key):
         # The flop model is an exact function of (kind, shape): any drift
         # means an operator changed its arithmetic.
-        if e["flops"] != ref["flops"]:
-            fail(
-                f"{apply_key(e)}: flop model drifted "
-                f"{e['flops']:.4g} vs committed {ref['flops']:.4g}"
-            )
+        benchlib.gate_exact(key, "flop model", e["flops"], ref["flops"])
         compared += 1
-    committed_acc = {accuracy_key(e): e for e in committed["accuracy"]}
-    for e in fresh["accuracy"]:
-        ref = committed_acc.get(accuracy_key(e))
-        if ref is None:
-            continue
-        a, b = e["residual"], ref["residual"]
-        denom = max(abs(a), abs(b), 1e-300)
-        if abs(a - b) / denom > tolerance:
-            fail(
-                f"{accuracy_key(e)}: residual drifted {a:.6g} vs committed "
-                f"{b:.6g} (> {tolerance * 100:.0f}%)"
-            )
+    for key, e, ref in benchlib.match_entries(
+            fresh["accuracy"], committed["accuracy"], accuracy_key):
+        benchlib.gate_within(key, "residual", e["residual"], ref["residual"],
+                             tolerance, what="drifted")
         compared += 1
-    if compared == 0:
-        fail("no comparable entries between fresh and committed runs")
+    benchlib.require_compared(compared)
 
     print(
         f"OK: {compared} entries within {tolerance * 100:.0f}%, claims hold "

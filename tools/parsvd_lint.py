@@ -49,6 +49,20 @@ Rules
                  silently skips sanitization. Scope: src/, bench/,
                  examples/.
 
+  ft-wait        A naked wait (wait/wait_any/wait_scoped/recv_matrix/
+                 recv_bytes) inside a fault-tolerant collective (any
+                 function whose name ends in `_ft`) that is not
+                 death-bounded. The peer may be dead, so every wait on
+                 it must sit inside a try block with a
+                 `catch (RankDeadError)` handler — the watchdog-armed
+                 idiom the recovery paths use — or the survivor hangs
+                 forever on a rank that will never post (the
+                 orphaned-wait class schedule_check --faults proves
+                 absent). A line whose raw text (or the line above it)
+                 carries `parsvd-lint: allow-ft-wait` is exempt —
+                 reserved for waits on rank 0 under the documented
+                 root-must-survive contract. Scope: src/.
+
   wall-clock     Wall-clock APIs (std::time, gmtime, localtime,
                  strftime, system_clock) in library or bench sources.
                  Bench JSON must be bit-reproducible run-to-run so CI
@@ -329,6 +343,98 @@ def rule_blocking(path: pathlib.Path, text: str, findings: list,
              "the kernels actually use"))
 
 
+# ------------------------------------------------------------ rule: ft-wait
+
+FT_FUNC_DEF = re.compile(r"\b(\w+_ft)\s*\(")
+FT_WAIT_CALL = re.compile(
+    r"\b(wait_scoped|wait_any|wait|recv_matrix|recv_bytes)\s*\(")
+FT_CATCH = re.compile(r"\s*catch\s*\(([^)]*)\)")
+FT_WAIT_EXEMPT = "parsvd-lint: allow-ft-wait"
+
+
+def match_brace(text: str, open_idx: int) -> int:
+    """Index of the `}` matching the `{` at open_idx, or -1."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def ft_function_bodies(clean: str):
+    """(start, end) spans of the bodies of `*_ft` function DEFINITIONS
+    (a parameter list followed by `{`; calls/declarations end in `;`)."""
+    for m in FT_FUNC_DEF.finditer(clean):
+        parsed = split_args(clean, clean.index("(", m.end() - 1))
+        if parsed is None:
+            continue
+        _, close = parsed
+        j = close + 1
+        while j < len(clean) and clean[j].isspace():
+            j += 1
+        if j >= len(clean) or clean[j] != "{":
+            continue
+        end = match_brace(clean, j)
+        if end > 0:
+            yield j, end
+
+
+def death_bounded_spans(clean: str, start: int, end: int):
+    """Spans inside [start, end) protected by a try whose catch chain
+    handles RankDeadError — the sanctioned death-bounded wait idiom."""
+    body = clean[start:end]
+    for m in re.finditer(r"\btry\b", body):
+        ob = body.find("{", m.end())
+        if ob < 0:
+            continue
+        cb = match_brace(body, ob)
+        if cb < 0:
+            continue
+        handled = False
+        j = cb + 1
+        while True:
+            mc = FT_CATCH.match(body, j)
+            if not mc:
+                break
+            if "RankDeadError" in mc.group(1):
+                handled = True
+            cob = body.find("{", mc.end())
+            if cob < 0:
+                break
+            ccb = match_brace(body, cob)
+            if ccb < 0:
+                break
+            j = ccb + 1
+        if handled:
+            yield start + ob, start + cb
+
+
+def rule_ft_wait(path: pathlib.Path, text: str, findings: list) -> None:
+    clean = strip_comments(text)
+    raw_lines = text.splitlines()
+    for start, end in ft_function_bodies(clean):
+        bounded = list(death_bounded_spans(clean, start, end))
+        for m in FT_WAIT_CALL.finditer(clean, start, end):
+            if any(lo <= m.start() <= hi for lo, hi in bounded):
+                continue
+            lineno = clean.count("\n", 0, m.start()) + 1
+            raw = raw_lines[lineno - 1] if lineno <= len(raw_lines) else ""
+            prev = raw_lines[lineno - 2] if lineno >= 2 else ""
+            if FT_WAIT_EXEMPT in raw or FT_WAIT_EXEMPT in prev:
+                continue
+            findings.append(
+                (path, lineno, "ft-wait",
+                 f"naked {m.group(1)}() in a fault-tolerant collective; "
+                 "the peer may be dead — wrap the wait in try/catch "
+                 "(RankDeadError) so it dead-resolves, or mark the "
+                 "root-must-survive contract with "
+                 "'parsvd-lint: allow-ft-wait'"))
+
+
 # --------------------------------------------------------- rule: wall-clock
 
 WALL_CLOCK = re.compile(
@@ -395,6 +501,7 @@ def main(argv) -> int:
             rule_raw_rng(path, text, findings)
             rule_group_tag(path, text, findings)
             rule_blocking(path, text, findings)
+            rule_ft_wait(path, text, findings)
             rule_wall_clock(path, text, findings)
         rule_env_registry(args.files, readme, findings)
     else:
@@ -408,9 +515,9 @@ def main(argv) -> int:
             rule_group_tag(path, text, findings, root)
             rule_blocking(path, text, findings, root)
         for path in src:
-            rule_pipelined(
-                path, path.read_text(encoding="utf-8", errors="replace"),
-                findings)
+            text = path.read_text(encoding="utf-8", errors="replace")
+            rule_pipelined(path, text, findings)
+            rule_ft_wait(path, text, findings)
         for path in src + bench:
             rule_wall_clock(
                 path, path.read_text(encoding="utf-8", errors="replace"),
